@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start each bench session with an empty results transcript."""
+    RESULTS_FILE.write_text("")
+    yield
+
+
+@pytest.fixture
+def report(capfd):
+    """Print a result table past pytest's fd-level capture.
+
+    Tables are also appended to ``benchmarks/results.txt`` so a
+    ``--benchmark-only`` run leaves a machine-readable transcript even
+    when the console output is discarded.
+    """
+
+    def _report(text: str) -> None:
+        with capfd.disabled():
+            print(text, flush=True)
+        with RESULTS_FILE.open("a") as sink:
+            sink.write(text + "\n")
+
+    return _report

@@ -1,0 +1,142 @@
+"""Component microbenchmarks.
+
+Not a paper figure — these quantify the building blocks so regressions in
+the hot paths (the ones Figure 3's overhead is made of, plus the
+simulation substrate itself) are visible:
+
+* pmf construction + convolution (the §5.2 prediction inner loop);
+* the Poisson staleness factor (Eq. 4);
+* Algorithm 1 proper (selection only — the paper's "remaining 10 %");
+* simulator event throughput and reliable-multicast round-trips.
+
+Run: ``pytest benchmarks/test_bench_components.py --benchmark-only``
+"""
+
+import pytest
+
+from repro.core.qos import QoSSpec
+from repro.core.selection import ReplicaView, StateBasedSelection
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.stats.pmf import DiscretePmf
+from repro.stats.poisson import poisson_cdf
+
+
+# ---------------------------------------------------------------------------
+# Prediction inner loop
+# ---------------------------------------------------------------------------
+@pytest.mark.benchmark(group="components-pmf")
+def test_pmf_from_samples(benchmark):
+    rng = RngRegistry(0).stream("bench")
+    samples = [max(0.0, rng.gauss(0.1, 0.05)) for _ in range(20)]
+    pmf = benchmark(DiscretePmf.from_samples, samples)
+    assert pmf.mass.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="components-pmf")
+def test_pmf_convolution(benchmark):
+    rng = RngRegistry(1).stream("bench")
+    a = DiscretePmf.from_samples([max(0.0, rng.gauss(0.1, 0.05)) for _ in range(20)])
+    b = DiscretePmf.from_samples([max(0.0, rng.gauss(0.01, 0.01)) for _ in range(20)])
+    conv = benchmark(a.convolve, b)
+    assert conv.mean() == pytest.approx(a.mean() + b.mean(), abs=1e-9)
+
+
+@pytest.mark.benchmark(group="components-pmf")
+def test_pmf_cdf_evaluation(benchmark):
+    rng = RngRegistry(2).stream("bench")
+    pmf = DiscretePmf.from_samples(
+        [max(0.0, rng.gauss(0.1, 0.05)) for _ in range(40)]
+    )
+    value = benchmark(pmf.cdf, 0.150)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.benchmark(group="components-staleness")
+def test_poisson_staleness_factor(benchmark):
+    value = benchmark(poisson_cdf, 4, 2.5)
+    assert 0.0 <= value <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 alone
+# ---------------------------------------------------------------------------
+@pytest.mark.benchmark(group="components-selection")
+@pytest.mark.parametrize("num_replicas", [5, 10, 20])
+def test_algorithm1_selection_only(benchmark, num_replicas):
+    rng = RngRegistry(3).stream("bench")
+    candidates = [
+        ReplicaView(
+            name=f"r{i}",
+            is_primary=i < num_replicas // 3,
+            immediate_cdf=rng.random(),
+            delayed_cdf=rng.random() * 0.5,
+            ert=rng.random() * 10,
+        )
+        for i in range(num_replicas)
+    ]
+    qos = QoSSpec(2, 0.150, 0.9)
+    strategy = StateBasedSelection()
+    result = benchmark(strategy.select, candidates, qos, 0.7)
+    assert len(result.replicas) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Substrate throughput
+# ---------------------------------------------------------------------------
+@pytest.mark.benchmark(group="components-substrate")
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+@pytest.mark.benchmark(group="components-substrate")
+def test_reliable_multicast_round(benchmark):
+    """One reliable FIFO multicast to 9 members, acks and all."""
+    from repro.groups.group import GroupEndpoint
+    from repro.groups.membership import MembershipService
+    from repro.net.latency import FixedLatency
+    from repro.net.network import Network
+
+    class Echo(GroupEndpoint):
+        def __init__(self, name):
+            super().__init__(name)
+            self.count = 0
+
+        def on_group_message(self, group, sender, payload):
+            self.count += 1
+
+    def build():
+        sim = Simulator()
+        network = Network(sim, RngRegistry(4), FixedLatency(0.001))
+        service = MembershipService()
+        network.attach(service)
+        nodes = [Echo(f"n{i}") for i in range(10)]
+        for node in nodes:
+            network.attach(node)
+            service.register("g", node.name)
+            node.assume_membership("g")
+        for node in nodes:
+            node.adopt_view(service.view_of("g"))
+        return sim, nodes
+
+    def round_trip():
+        sim, nodes = build()
+        for i in range(20):
+            nodes[0].gmcast("g", i)
+        sim.run(until=5.0)
+        return sum(n.count for n in nodes[1:])
+
+    assert benchmark(round_trip) == 9 * 20

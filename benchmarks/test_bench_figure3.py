@@ -1,0 +1,48 @@
+"""Figure 3 bench: overhead of the probabilistic selection algorithm.
+
+Regenerates the paper's Figure 3: per-read prediction + selection cost
+versus the number of available replicas (2–10) for sliding windows of
+sizes 10 and 20.  ``test_figure3_table`` prints the full table and
+verifies the reproduction's shape claims; the parametrized benchmarks give
+pytest-benchmark timings for the exact client-side code path at selected
+points of the sweep.
+
+Run: ``pytest benchmarks/test_bench_figure3.py --benchmark-only``
+"""
+
+import pytest
+
+from repro.experiments.figure3 import render, run_figure3
+from repro.experiments.harness import measure_selection_overhead
+
+
+@pytest.mark.benchmark(group="figure3-selection-overhead")
+@pytest.mark.parametrize("num_replicas", [2, 4, 6, 8, 10])
+@pytest.mark.parametrize("window_size", [10, 20])
+def test_selection_overhead_point(benchmark, num_replicas, window_size):
+    """One (replica count, window) point of Figure 3, timed by the
+    benchmark harness itself."""
+    result = benchmark.pedantic(
+        measure_selection_overhead,
+        kwargs=dict(
+            num_replicas=num_replicas,
+            window_size=window_size,
+            repetitions=50,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.total_us > 0
+
+
+def test_figure3_table(benchmark, report):
+    """The whole Figure 3 sweep, printed, with shape assertions."""
+    result = benchmark.pedantic(run_figure3, kwargs=dict(repetitions=200), rounds=1)
+    report("")
+    report(render(result))
+    # Reproduction targets (shape, not absolute numbers — see DESIGN.md):
+    assert result.is_monotone_in_replicas(10)
+    assert result.is_monotone_in_replicas(20)
+    assert result.window20_above_window10()
+    # §6: distribution computation dominates the overhead (paper: ~90 %).
+    assert all(p.distribution_share > 0.7 for p in result.points.values())

@@ -1,0 +1,97 @@
+"""Operating a deployment: the post-run analysis toolkit.
+
+Runs a mixed workload against the paper's testbed and then prints the
+reports an operator would want: per-replica load and utilization, wire
+traffic by message type, client-observable consistency/timeliness, and
+the selection-size histogram (the client-side view of Figure 4a).
+
+Run: ``python examples/operations_report.py``
+"""
+
+from repro.core.qos import QoSSpec
+from repro.core.service import ServiceConfig, build_testbed
+from repro.experiments.analysis import (
+    client_consistency_report,
+    message_profile,
+    replica_load_report,
+    selection_profile,
+)
+from repro.experiments.report import format_table
+from repro.sim.process import Process, Timeout
+from repro.sim.tracing import Trace
+
+
+def main() -> None:
+    trace = Trace(enabled=True)
+    config = ServiceConfig(
+        name="svc",
+        num_primaries=3,
+        num_secondaries=5,
+        lazy_update_interval=2.0,
+    )
+    testbed = build_testbed(config, seed=23, trace=trace)
+    service = testbed.service
+    sim = testbed.sim
+
+    qos = QoSSpec(staleness_threshold=3, deadline=0.250, min_probability=0.9)
+    clients = []
+    outcomes = []
+    for i in range(3):
+        client = service.create_client(f"c{i}", read_only_methods={"get"})
+        clients.append(client)
+
+        def run(client=client):
+            for _ in range(40):
+                yield client.call("increment")
+                yield Timeout(0.15)
+                outcome = yield client.call("get", (), qos)
+                outcomes.append(outcome)
+                yield Timeout(0.15)
+
+        Process(sim, run())
+    sim.run(until=120.0)
+
+    # ------------------------------------------------------------------
+    load = replica_load_report(service, elapsed=sim.now)
+    print(format_table(
+        ["replica", "role", "reads", "commits", "deferred", "utilization"],
+        load.rows(),
+        title="Replica load",
+    ))
+    print(f"read-load imbalance (max/mean): {load.read_imbalance():.3f}")
+    print()
+
+    profile = message_profile(trace)
+    print(format_table(
+        ["payload type", "delivered"],
+        profile.rows(),
+        title="Wire traffic",
+    ))
+    print(f"total delivered: {profile.total_delivered()}, "
+          f"dropped: {profile.total_dropped()}")
+    print()
+
+    consistency = client_consistency_report(
+        outcomes, staleness_thresholds=[qos.staleness_threshold]
+    )
+    print("Client-observable consistency and timeliness")
+    print(f"  reads:                    {consistency.reads}")
+    print(f"  timing failures:          {consistency.timing_failure_fraction:.3f}")
+    print(f"  deferred reads:           {consistency.deferred_fraction:.3f}")
+    print(f"  response time p50/p95/p99:"
+          f" {consistency.response_time_p50_ms:.0f} /"
+          f" {consistency.response_time_p95_ms:.0f} /"
+          f" {consistency.response_time_p99_ms:.0f} ms")
+    print(f"  observed staleness max:   {consistency.observed_staleness_max} versions")
+    print(f"  staleness-bound breaches: {consistency.staleness_bound_violations}")
+    print()
+
+    print(format_table(
+        ["replicas selected", "reads"],
+        selection_profile(clients[0]).rows(),
+        title=f"Selection histogram ({clients[0].name})",
+    ))
+
+
+if __name__ == "__main__":
+    main()

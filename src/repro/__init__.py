@@ -1,0 +1,47 @@
+"""Reproduction of Krishnamurthy, Sanders & Cukier (DSN 2002).
+
+``repro`` implements the adaptive framework for tunable consistency and
+timeliness described in the paper, together with every substrate it needs:
+a discrete-event simulation kernel (:mod:`repro.sim`), a simulated network
+(:mod:`repro.net`), a Maestro/Ensemble-style group-communication layer
+(:mod:`repro.groups`), the probability toolbox (:mod:`repro.stats`), the
+middleware itself (:mod:`repro.core`), baselines (:mod:`repro.baselines`),
+example applications (:mod:`repro.apps`), workloads
+(:mod:`repro.workloads`), and the experiment harness
+(:mod:`repro.experiments`).
+
+The most convenient entry point for building a replicated service is
+:class:`repro.core.service.ReplicatedService`; see ``examples/quickstart.py``.
+The commonly used names are re-exported lazily here, so ``import repro``
+stays cheap for tools that only need a substrate.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QoSSpec",
+    "OrderingGuarantee",
+    "ReplicatedService",
+    "ServiceConfig",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "QoSSpec": ("repro.core.qos", "QoSSpec"),
+    "OrderingGuarantee": ("repro.core.qos", "OrderingGuarantee"),
+    "ReplicatedService": ("repro.core.service", "ReplicatedService"),
+    "ServiceConfig": ("repro.core.service", "ServiceConfig"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

@@ -1,0 +1,18 @@
+"""Example replicated applications.
+
+Concrete :class:`~repro.core.state.ReplicatedObject` implementations used
+by the examples and tests:
+
+* :mod:`repro.apps.kvstore` — a replicated key-value object store;
+* :mod:`repro.apps.document` — the document-sharing application §2 uses to
+  illustrate the QoS model ("a copy of the document that is not more than
+  5 versions old within 2.0 seconds with a probability of at least 0.7");
+* :mod:`repro.apps.stock` — a stock-ticker board, one of the real-time
+  database applications (§1) that motivate bounded-staleness reads.
+"""
+
+from repro.apps.kvstore import KVStore
+from repro.apps.document import SharedDocument
+from repro.apps.stock import StockTicker
+
+__all__ = ["KVStore", "SharedDocument", "StockTicker"]

@@ -1,0 +1,58 @@
+"""A stock-ticker board.
+
+§1 motivates bounded staleness with "real-time database applications, such
+as online stock-trading and traffic-monitoring applications": a trader
+would rather see a quote a few ticks old *now* than the freshest quote too
+late, but an unboundedly stale quote is useless.  Tick updates are
+sequenced; quote reads carry a staleness threshold in ticks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.state import ReplicatedObject
+
+
+class StockTicker(ReplicatedObject):
+    """Last-price table plus a global tick counter."""
+
+    READ_ONLY_METHODS = frozenset(
+        {"quote", "quotes", "tick_count", "movers"}
+    )
+
+    def __init__(self) -> None:
+        self.prices: dict[str, float] = {}
+        self.previous: dict[str, float] = {}
+        self.ticks = 0
+
+    # -- updates ---------------------------------------------------------
+    def tick(self, symbol: str, price: float) -> float:
+        """Record a trade tick; returns the new price."""
+        if price <= 0:
+            raise ValueError(f"non-positive price {price!r}")
+        if symbol in self.prices:
+            self.previous[symbol] = self.prices[symbol]
+        self.prices[symbol] = float(price)
+        self.ticks += 1
+        return self.prices[symbol]
+
+    # -- read-only -------------------------------------------------------
+    def quote(self, symbol: str) -> Optional[float]:
+        return self.prices.get(symbol)
+
+    def quotes(self) -> dict[str, float]:
+        return dict(self.prices)
+
+    def tick_count(self) -> int:
+        return self.ticks
+
+    def movers(self) -> list[tuple[str, float]]:
+        """Symbols by absolute relative move since their previous tick."""
+        moves = []
+        for symbol, price in self.prices.items():
+            prior = self.previous.get(symbol)
+            if prior:
+                moves.append((symbol, (price - prior) / prior))
+        moves.sort(key=lambda sm: -abs(sm[1]))
+        return moves

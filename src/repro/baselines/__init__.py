@@ -1,0 +1,26 @@
+"""Baseline replica-selection strategies.
+
+§5 motivates the probabilistic algorithm by dismissing two naive policies:
+"allocate all the available replicas to service a single client" (not
+scalable) and "assigning a single replica to service each client" (no
+failure/timing margin).  This package implements both, plus round-robin,
+fixed-K, and primary-only variants, behind the same
+:class:`~repro.core.selection.SelectionStrategy` interface so experiments
+can compare them head-to-head (ablation A5 in DESIGN.md).
+"""
+
+from repro.baselines.strategies import (
+    AllReplicasSelection,
+    FixedSizeSelection,
+    PrimaryOnlySelection,
+    RandomSingleSelection,
+    RoundRobinSelection,
+)
+
+__all__ = [
+    "AllReplicasSelection",
+    "FixedSizeSelection",
+    "PrimaryOnlySelection",
+    "RandomSingleSelection",
+    "RoundRobinSelection",
+]

@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figure3`` — selection-algorithm overhead (Figure 3);
+* ``figure4`` — adaptivity sweep, both panels (Figure 4);
+* ``ablations`` — the A1–A9 parameter/baseline/failure/extension studies;
+* ``validation`` — staleness-model calibration + hot-spot avoidance;
+* ``info`` — reproduction summary and module inventory.
+
+``--quick`` runs reduced sweeps everywhere it is meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+
+def _cmd_figure3(args: argparse.Namespace) -> None:
+    from repro.experiments import figure3
+
+    argv = []
+    if args.save:
+        argv += ["--save", args.save]
+    figure3.main(argv)
+
+
+def _cmd_figure4(args: argparse.Namespace) -> None:
+    from repro.experiments import figure4
+
+    argv = ["--quick"] if args.quick else []
+    if args.save:
+        argv += ["--save", args.save]
+    figure4.main(argv)
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    from repro.experiments import ablations
+
+    ablations.main(["--quick"] if args.quick else [])
+
+
+def _cmd_validation(args: argparse.Namespace) -> None:
+    from repro.experiments import validation
+
+    validation.main(["--quick"] if args.quick else [])
+
+
+def _cmd_info(args: argparse.Namespace) -> None:
+    import repro
+
+    print(f"repro {repro.__version__} — reproduction of:")
+    print("  Krishnamurthy, Sanders, Cukier: 'An Adaptive Framework for")
+    print("  Tunable Consistency and Timeliness Using Replication' (DSN 2002)")
+    print()
+    print("subsystems:")
+    for module, summary in [
+        ("repro.sim", "deterministic discrete-event simulation kernel"),
+        ("repro.net", "simulated LAN: latency models, crashes, partitions"),
+        ("repro.groups", "group communication (views, leader, reliable FIFO)"),
+        ("repro.stats", "pmfs/convolution, Poisson CDF, binomial CIs"),
+        ("repro.core", "the paper's middleware: QoS model, sequential/FIFO/"
+                       "causal handlers, probabilistic selection (Algorithm 1)"),
+        ("repro.baselines", "naive selection strategies for comparison"),
+        ("repro.apps", "KV store, shared document, stock ticker"),
+        ("repro.workloads", "closed-loop §6 clients, open-loop generators"),
+        ("repro.experiments", "figure/ablation/validation harnesses"),
+    ]:
+        print(f"  {module:20s} {summary}")
+    print()
+    print("see DESIGN.md for the experiment index and EXPERIMENTS.md for")
+    print("paper-vs-measured results.")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures and studies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p3 = sub.add_parser("figure3", help="selection overhead (Figure 3)")
+    p3.add_argument("--save", metavar="PATH", help="write results as JSON")
+    p3.set_defaults(func=_cmd_figure3)
+
+    p4 = sub.add_parser("figure4", help="adaptivity sweep (Figure 4)")
+    p4.add_argument("--quick", action="store_true")
+    p4.add_argument("--save", metavar="PATH", help="write results as JSON")
+    p4.set_defaults(func=_cmd_figure4)
+
+    pa = sub.add_parser("ablations", help="A1-A9 parameter studies")
+    pa.add_argument("--quick", action="store_true")
+    pa.set_defaults(func=_cmd_ablations)
+
+    pv = sub.add_parser("validation", help="model calibration + hot spots")
+    pv.add_argument("--quick", action="store_true")
+    pv.set_defaults(func=_cmd_validation)
+
+    pi = sub.add_parser("info", help="reproduction summary")
+    pi.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,492 @@
+"""The client-side gateway handler (§5.3, §5.4).
+
+Responsibilities, mirroring the paper's client gateway:
+
+* **interception** — the client application calls :meth:`invoke`; the
+  handler classifies it via the read-only registry (§2), records the
+  interception time ``t_0``, and handles the rest transparently;
+* **update path** — updates are multicast to every member of the primary
+  group; the server side commits them in GSN order (§4.1.1); the first
+  acknowledgement completes the call;
+* **read path** — the handler evaluates the probabilistic models over its
+  information repository, runs the selection strategy (Algorithm 1 by
+  default), extends the set with the sequencer, and multicasts the read to
+  the selected replicas;
+* **first-reply delivery** — only the first response for a request is
+  delivered to the client; later replies still update the repository
+  (gateway delay, ``ert``);
+* **online monitoring** — replies carry the piggybacked
+  ``t_1 = t_s + t_q + t_b``; the handler derives the two-way gateway delay
+  ``t_g = t_p − t_m − t_1`` and folds the replicas' performance broadcasts
+  into the sliding windows;
+* **timing-failure detection** — a response later than ``d`` (or missing)
+  is a timing failure; if the observed frequency of timely responses drops
+  below the client's ``P_c(d)``, the handler notifies the client through a
+  callback.
+
+Selection overhead is measured with a wall-clock timer around the
+prediction + selection computation (this is the quantity Figure 3 reports)
+and can optionally be *charged* to the request as virtual latency.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.prediction import ResponseTimePredictor
+from repro.core.qos import QoSSpec
+from repro.core.replica import ServiceGroups
+from repro.core.repository import ClientInfoRepository
+from repro.core.requests import (
+    PerfBroadcast,
+    ReadOnlyRegistry,
+    ReadOutcome,
+    Reply,
+    Request,
+    RequestKind,
+    UpdateOutcome,
+    next_request_id,
+)
+from repro.core.selection import ReplicaView, SelectionStrategy, StateBasedSelection
+from repro.core.staleness import StalenessModel
+from repro.groups.group import GroupEndpoint
+from repro.net.message import Message
+from repro.sim.kernel import Event
+from repro.sim.process import Signal
+from repro.sim.tracing import NULL_TRACE, Trace
+
+OutcomeCallback = Callable[[Any], None]
+
+
+@dataclass
+class _PendingCall:
+    request: Request
+    t0: float
+    tm: float  # transmission time (t0 + charged selection overhead)
+    qos: Optional[QoSSpec]
+    callback: Optional[OutcomeCallback]
+    selected: tuple[str, ...]
+    deadline_event: Optional[Event] = None
+    gc_event: Optional[Event] = None
+    failed: bool = False
+    completed: bool = False
+
+
+class ClientHandler(GroupEndpoint):
+    """One client's gateway handler for one replicated service."""
+
+    def __init__(
+        self,
+        name: str,
+        groups: ServiceGroups,
+        lazy_update_interval: float,
+        read_only_methods: Optional[set[str]] = None,
+        strategy: Optional[SelectionStrategy] = None,
+        staleness_model: Optional["StalenessModel"] = None,
+        window_size: int = 20,
+        quantum: float = 1e-3,
+        default_qos: Optional[QoSSpec] = None,
+        has_sequencer: bool = True,
+        charge_selection_overhead: bool = False,
+        gc_timeout: float = 30.0,
+        on_qos_violation: Optional[Callable[[float], None]] = None,
+        trace: Trace = NULL_TRACE,
+        heartbeat_interval: float = 0.25,
+        rto: float = 0.05,
+    ) -> None:
+        super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
+        self.groups = groups
+        self.registry = ReadOnlyRegistry(read_only_methods)
+        self.repository = ClientInfoRepository(window_size)
+        self.predictor = ResponseTimePredictor(
+            self.repository,
+            lazy_update_interval,
+            quantum=quantum,
+            staleness_model=staleness_model,
+        )
+        self.strategy = strategy or StateBasedSelection()
+        self.default_qos = default_qos
+        self.has_sequencer = has_sequencer
+        self.charge_selection_overhead = charge_selection_overhead
+        self.gc_timeout = gc_timeout
+        self.on_qos_violation = on_qos_violation
+        self.trace = trace
+
+        self._pending: dict[int, _PendingCall] = {}
+        # Transmission times of recent requests, kept so late replies (the
+        # non-first responses of a multicast read) still yield a gateway-
+        # delay sample and an ert refresh.
+        self._recent_tm: "OrderedDict[int, float]" = OrderedDict()
+
+        # Metrics the experiments consume.
+        self.reads_issued = 0
+        self.reads_resolved = 0
+        # Reads whose timing outcome is known: resolved reads plus pending
+        # reads whose deadline has already passed.  The failure frequency
+        # is judged against this so it is well-defined mid-flight.
+        self.reads_judged = 0
+        self.updates_issued = 0
+        self.updates_resolved = 0
+        self.timing_failures = 0
+        self.deferred_replies = 0
+        self.selected_counts: list[int] = []
+        self.response_times: list[float] = []
+        self.selection_overheads: list[float] = []  # wall-clock seconds (Fig. 3)
+        self.staleness_violations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def declare_read_only(self, method: str) -> None:
+        """§2: the client names its read-only methods explicitly."""
+        self.registry.declare(method)
+
+    def invoke(
+        self,
+        method: str,
+        args: tuple = (),
+        qos: Optional[QoSSpec] = None,
+        callback: Optional[OutcomeCallback] = None,
+    ) -> int:
+        """Invoke a method on the replicated service; returns the request id.
+
+        Reads require a QoS specification (per-call or ``default_qos``);
+        updates ignore timeliness (§2: "the timeliness attribute is
+        applicable only for read-only requests").
+        """
+        kind = self.registry.kind_of(method)
+        if kind is RequestKind.READ:
+            spec = qos or self.default_qos
+            if spec is None:
+                raise ValueError(f"read {method!r} needs a QoS specification")
+            return self._issue_read(method, args, spec, callback)
+        return self._issue_update(method, args, callback)
+
+    def call(self, method: str, args: tuple = (), qos: Optional[QoSSpec] = None) -> Signal:
+        """Process-friendly variant: returns a Signal fired with the outcome.
+
+        Usage inside a workload generator::
+
+            outcome = yield client.call("get", (), qos)
+        """
+        done = Signal(f"{self.name}.call")
+        self.invoke(method, args, qos, callback=done.fire)
+        return done
+
+    @property
+    def timely_fraction(self) -> float:
+        """Observed frequency of timely responses so far (1.0 before data)."""
+        if self.reads_judged == 0:
+            return 1.0
+        return 1.0 - self.timing_failures / self.reads_judged
+
+    @property
+    def observed_failure_probability(self) -> float:
+        if self.reads_judged == 0:
+            return 0.0
+        return self.timing_failures / self.reads_judged
+
+    def average_selected(self) -> float:
+        if not self.selected_counts:
+            return 0.0
+        return sum(self.selected_counts) / len(self.selected_counts)
+
+    # ------------------------------------------------------------------
+    # Update path (§5: multicast to all primaries)
+    # ------------------------------------------------------------------
+    def _issue_update(
+        self, method: str, args: tuple, callback: Optional[OutcomeCallback]
+    ) -> int:
+        request = Request(
+            request_id=next_request_id(),
+            client=self.name,
+            method=method,
+            args=args,
+            kind=RequestKind.UPDATE,
+            qos=None,
+            sent_at=self.now,
+            context=self._update_context(),
+        )
+        targets = list(self.view_of(self.groups.primary).members)
+        pending = _PendingCall(
+            request=request,
+            t0=self.now,
+            tm=self.now,
+            qos=None,
+            callback=callback,
+            selected=tuple(targets),
+        )
+        self._pending[request.request_id] = pending
+        self._remember_tm(request.request_id, pending.tm)
+        pending.gc_event = self.sim.schedule(
+            self.gc_timeout, self._garbage_collect, request.request_id
+        )
+        for target in targets:
+            self.gsend(self.groups.qos, target, request)
+        self.updates_issued += 1
+        self.trace.emit(
+            self.now, "client.update", self.name,
+            request_id=request.request_id, targets=targets,
+        )
+        return request.request_id
+
+    # ------------------------------------------------------------------
+    # Read path (§5.3)
+    # ------------------------------------------------------------------
+    def _issue_read(
+        self,
+        method: str,
+        args: tuple,
+        qos: QoSSpec,
+        callback: Optional[OutcomeCallback],
+    ) -> int:
+        t0 = self.now
+        started = time.perf_counter()
+        selection = self._select_replicas(qos)
+        overhead = time.perf_counter() - started
+        self.selection_overheads.append(overhead)
+
+        request = Request(
+            request_id=next_request_id(),
+            client=self.name,
+            method=method,
+            args=args,
+            kind=RequestKind.READ,
+            qos=qos,
+            sent_at=t0,
+            context=self._read_context(),
+        )
+        tm = t0 + (overhead if self.charge_selection_overhead else 0.0)
+        pending = _PendingCall(
+            request=request,
+            t0=t0,
+            tm=tm,
+            qos=qos,
+            callback=callback,
+            selected=selection,
+        )
+        self._pending[request.request_id] = pending
+        self._remember_tm(request.request_id, tm)
+        self.reads_issued += 1
+        self.selected_counts.append(len(selection))
+
+        targets = list(selection)
+        if self.has_sequencer:
+            sequencer = self.view_of(self.groups.primary).leader
+            if sequencer is not None and sequencer not in targets:
+                targets.append(sequencer)  # line 13/16: K extended with it
+
+        def transmit() -> None:
+            for target in targets:
+                self.gsend(self.groups.qos, target, request)
+
+        if tm > t0:
+            self.sim.schedule(tm - t0, transmit)
+        else:
+            transmit()
+
+        # The timing-failure detector arms a timer at the deadline.
+        pending.deadline_event = self.sim.schedule(
+            qos.deadline, self._on_deadline, request.request_id
+        )
+        pending.gc_event = self.sim.schedule(
+            max(self.gc_timeout, 2 * qos.deadline),
+            self._garbage_collect,
+            request.request_id,
+        )
+        self.trace.emit(
+            self.now, "client.read", self.name,
+            request_id=request.request_id, selected=list(selection),
+        )
+        return request.request_id
+
+    def _remember_tm(self, request_id: int, tm: float) -> None:
+        self._recent_tm[request_id] = tm
+        while len(self._recent_tm) > 4096:
+            self._recent_tm.popitem(last=False)
+
+    def _select_replicas(self, qos: QoSSpec) -> tuple[str, ...]:
+        candidates = self._candidates(qos)
+        stale_factor = self.predictor.staleness_factor(
+            qos.staleness_threshold, self.now
+        )
+        result = self.strategy.select(candidates, qos, stale_factor)
+        return result.replicas
+
+    def _candidates(self, qos: QoSSpec) -> list[ReplicaView]:
+        """Build the ``V`` tuples of Algorithm 1 from the repository."""
+        primary_view = self.view_of(self.groups.primary)
+        secondary_view = self.view_of(self.groups.secondary)
+        sequencer = primary_view.leader if self.has_sequencer else None
+        views: list[ReplicaView] = []
+        for member in primary_view.members:
+            if member == sequencer:
+                continue  # the sequencer never services requests (§4.1)
+            cdf = self.predictor.immediate_cdf(member, qos.deadline)
+            views.append(
+                ReplicaView(
+                    name=member,
+                    is_primary=True,
+                    immediate_cdf=cdf,
+                    delayed_cdf=cdf,  # unused for primaries (§5.3)
+                    ert=self.repository.ert(member, self.now),
+                )
+            )
+        for member in secondary_view.members:
+            immediate, delayed = self.predictor.response_cdfs(member, qos.deadline)
+            views.append(
+                ReplicaView(
+                    name=member,
+                    is_primary=False,
+                    immediate_cdf=immediate,
+                    delayed_cdf=delayed,
+                    ert=self.repository.ert(member, self.now),
+                )
+            )
+        return views
+
+    # ------------------------------------------------------------------
+    # Inbound traffic
+    # ------------------------------------------------------------------
+    def on_group_message(self, group: str, sender: str, payload: Any) -> None:
+        if isinstance(payload, Reply):
+            self._on_reply(payload)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, PerfBroadcast):
+            self.repository.record_broadcast(payload)
+            self.repository.record_staleness(payload, self.now)
+
+    # ------------------------------------------------------------------
+    # Protocol-specific context hooks (overridden by the causal handler)
+    # ------------------------------------------------------------------
+    def _update_context(self) -> Any:
+        """Piggyback attached to outgoing updates (None by default)."""
+        return None
+
+    def _read_context(self) -> Any:
+        """Piggyback attached to outgoing reads (None by default)."""
+        return None
+
+    def _absorb_context(self, reply: Reply) -> None:
+        """Fold a reply's protocol context into client state (no-op)."""
+
+    def _on_reply(self, reply: Reply) -> None:
+        tp = self.now
+        is_read = reply.kind is RequestKind.READ
+        self._absorb_context(reply)
+        pending = self._pending.get(reply.request_id)
+        # Even late/duplicate replies refresh the monitoring state (§5.4).
+        if pending is not None:
+            tm = pending.tm
+        else:
+            tm = self._recent_tm.get(reply.request_id)
+        if tm is not None:
+            tg = tp - tm - reply.t1
+            self.repository.record_reply(reply.replica, tg, tp, read=is_read)
+        if pending is None:
+            return
+        if pending.completed:
+            return
+        pending.completed = True
+        if pending.deadline_event is not None:
+            pending.deadline_event.cancel()
+        if pending.gc_event is not None:
+            pending.gc_event.cancel()
+        del self._pending[reply.request_id]
+
+        response_time = tp - pending.t0
+        if pending.request.kind is RequestKind.READ:
+            assert pending.qos is not None
+            timing_failure = pending.failed or response_time > pending.qos.deadline
+            self.reads_resolved += 1
+            if not pending.failed:
+                self.reads_judged += 1
+                if timing_failure:
+                    self.timing_failures += 1
+            if reply.deferred:
+                self.deferred_replies += 1
+            self.response_times.append(response_time)
+            outcome = ReadOutcome(
+                request_id=reply.request_id,
+                value=reply.value,
+                response_time=response_time,
+                timing_failure=timing_failure,
+                replicas_selected=len(pending.selected),
+                first_replica=reply.replica,
+                deferred=reply.deferred,
+                gsn=reply.gsn,
+            )
+            self._check_violation(pending.qos)
+        else:
+            self.updates_resolved += 1
+            outcome = UpdateOutcome(
+                request_id=reply.request_id,
+                value=reply.value,
+                response_time=response_time,
+                first_replica=reply.replica,
+                gsn=reply.gsn,
+            )
+        self.trace.emit(
+            self.now, "client.reply", self.name,
+            request_id=reply.request_id, replica=reply.replica,
+            response_time=response_time,
+        )
+        if pending.callback is not None:
+            pending.callback(outcome)
+
+    # ------------------------------------------------------------------
+    # Timing-failure detection (§5.4)
+    # ------------------------------------------------------------------
+    def _on_deadline(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None or pending.completed or pending.failed:
+            return
+        # No reply by the deadline: a timing failure, counted once even if
+        # a (late) reply arrives afterwards.
+        pending.failed = True
+        self.timing_failures += 1
+        self.reads_judged += 1
+        self.trace.emit(
+            self.now, "client.timing-failure", self.name, request_id=request_id
+        )
+        if pending.qos is not None:
+            self._check_violation(pending.qos)
+
+    def _check_violation(self, qos: Optional[QoSSpec]) -> None:
+        if qos is None or self.on_qos_violation is None:
+            return
+        if self.reads_resolved > 0 and self.timely_fraction < qos.min_probability:
+            self.on_qos_violation(self.observed_failure_probability)
+
+    def _garbage_collect(self, request_id: int) -> None:
+        """Abandon a request that will never complete (e.g. all selected
+        replicas crashed before replying)."""
+        pending = self._pending.pop(request_id, None)
+        if pending is None or pending.completed:
+            return
+        pending.completed = True
+        if pending.request.kind is RequestKind.READ:
+            self.reads_resolved += 1
+            if not pending.failed:
+                self.timing_failures += 1
+                self.reads_judged += 1
+            outcome: Any = ReadOutcome(
+                request_id=request_id,
+                value=None,
+                response_time=None,
+                timing_failure=True,
+                replicas_selected=len(pending.selected),
+                first_replica=None,
+                deferred=False,
+                gsn=-1,
+            )
+        else:
+            outcome = None
+        self.trace.emit(self.now, "client.gc", self.name, request_id=request_id)
+        if pending.callback is not None and outcome is not None:
+            pending.callback(outcome)

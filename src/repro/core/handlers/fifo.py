@@ -1,0 +1,141 @@
+"""The FIFO consistency handler (service B in Figure 2).
+
+The paper's architecture shows per-service timed consistency handlers; it
+details only the sequential one, but depicts a banking-style service using
+FIFO ordering.  This handler implements that guarantee: updates from one
+client are committed in the order that client issued them (which the
+reliable per-pair FIFO group channel already provides), with no global
+order across clients and therefore no sequencer.
+
+Reads are stamped with the replica's local commit count and served
+immediately; the per-replica commit counter still gives clients a version
+number, and lazy propagation still keeps a secondary group loosely in sync
+so the same probabilistic selection machinery applies (with the staleness
+factor pinned to 1, as there is no global version to be stale against).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
+from repro.core.requests import LazyUpdate, Request, RequestKind
+from repro.core.state import ReplicatedObject
+from repro.groups.membership import View
+from repro.sim.rng import Distribution, RngRegistry
+from repro.sim.tracing import NULL_TRACE, Trace
+
+
+class FifoReplicaHandler(ReplicaHandlerBase):
+    """Server-side gateway handler providing FIFO consistency."""
+
+    def __init__(
+        self,
+        name: str,
+        groups: ServiceGroups,
+        app: ReplicatedObject,
+        rng: RngRegistry,
+        read_service_time: Distribution,
+        update_service_time: Optional[Distribution] = None,
+        lazy_update_interval: float = 2.0,
+        trace: Trace = NULL_TRACE,
+        publish_performance: bool = True,
+        heartbeat_interval: float = 0.25,
+        rto: float = 0.05,
+    ) -> None:
+        super().__init__(
+            name,
+            groups,
+            app,
+            rng,
+            read_service_time,
+            update_service_time,
+            trace=trace,
+            publish_performance=publish_performance,
+            heartbeat_interval=heartbeat_interval,
+            rto=rto,
+        )
+        if lazy_update_interval <= 0:
+            raise ValueError(
+                f"lazy update interval must be positive, got {lazy_update_interval!r}"
+            )
+        self.lazy_update_interval = lazy_update_interval
+        self.commit_count = 0
+        self._lazy_epoch = 0
+        self.lazy_updates_sent = 0
+        self.lazy_updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    @property
+    def lazy_publisher_name(self) -> Optional[str]:
+        """Without a sequencer, the primary leader publishes lazily."""
+        return self.primary_view.leader
+
+    @property
+    def is_lazy_publisher(self) -> bool:
+        return self.lazy_publisher_name == self.name
+
+    def attached(self, network, host) -> None:
+        super().attached(network, host)
+        self.sim.schedule(self.lazy_update_interval, self._lazy_tick)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def on_group_message(self, group: str, sender: str, payload: Any) -> None:
+        if isinstance(payload, Request):
+            self._on_request(payload)
+        elif isinstance(payload, LazyUpdate):
+            self._on_lazy_update(payload)
+
+    def _on_request(self, request: Request) -> None:
+        pending = PendingRequest(request=request, arrived_at=self.now)
+        if request.kind is RequestKind.UPDATE:
+            if self.is_primary:
+                # Per-client FIFO arrival order *is* the commit order.
+                self.enqueue_ready(pending)
+        else:
+            if self.is_primary or self.is_secondary:
+                self.enqueue_ready(pending)
+
+    def execute(self, pending: PendingRequest) -> Any:
+        value = super().execute(pending)
+        if pending.request.kind is RequestKind.UPDATE:
+            self.commit_count += 1
+            self.updates_committed += 1
+        return value
+
+    def committed_gsn(self) -> int:
+        return self.commit_count
+
+    # ------------------------------------------------------------------
+    # Lazy propagation to the secondary group
+    # ------------------------------------------------------------------
+    def _lazy_tick(self) -> None:
+        if self.network is None:
+            return
+        if self.up and self.is_primary and self.is_lazy_publisher:
+            self._lazy_epoch += 1
+            update = LazyUpdate(
+                publisher=self.name,
+                epoch=self._lazy_epoch,
+                csn=self.commit_count,
+                snapshot=self.app.snapshot(),
+            )
+            self.gmcast(self.groups.secondary, update, size_bytes=1024)
+            self.lazy_updates_sent += 1
+        self.sim.schedule(self.lazy_update_interval, self._lazy_tick)
+
+    def _on_lazy_update(self, update: LazyUpdate) -> None:
+        if not self.is_secondary:
+            return
+        if update.csn > self.commit_count:
+            self.app.restore(update.snapshot)
+            self.commit_count = update.csn
+            self.lazy_updates_applied += 1
+
+    def on_view_change(self, view: View, previous: Optional[View]) -> None:
+        # Role designation is purely view-rank-based; nothing to hand over.
+        pass

@@ -1,0 +1,589 @@
+"""The sequential consistency handler (§4.1).
+
+Every update is committed by every (serving) primary replica in the order
+of its Global Sequence Number, assigned by the *sequencer* — the leader of
+the primary group, which "merely serves as the sequencer and does not
+actually service the client's request".  Secondary replicas never execute
+updates; a designated primary, the *lazy publisher*, multicasts its state
+to the secondary group every ``lazy_update_interval`` (T_L) seconds.
+
+Reads are stamped with the current GSN (not advanced) by the sequencer.  A
+replica serves a read once its staleness ``GSN_read − my_CSN`` is within
+the client's threshold; a too-stale secondary performs a *deferred read* —
+it buffers the request and answers right after the next lazy update,
+recording the buffering time ``t_b`` the client-side model uses for
+``F^D_R`` (§5.2.2).
+
+Failure handling (the paper omits the details "due to the space
+constraint"; DESIGN.md documents our completion): on sequencer crash, the
+new primary-group leader collects GSN state from survivors, adopts the
+maximum, re-broadcasts assignments others missed, declares unfillable GSNs
+as no-op skips, and assigns fresh GSNs to updates that never got one.  The
+lazy-publisher role follows view rank automatically, and replicas whose
+buffered reads never received a GSN re-request it from the current
+sequencer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
+from repro.core.requests import (
+    GsnAssign,
+    GsnQuery,
+    GsnSkip,
+    LazyUpdate,
+    Request,
+    RequestKind,
+    SequencerSyncReply,
+    SequencerSyncRequest,
+    StalenessInfo,
+)
+from repro.core.state import ReplicatedObject
+from repro.core.tuning import AdaptiveLazyController
+from repro.groups.membership import View
+from repro.sim.rng import Distribution, RngRegistry
+from repro.sim.tracing import NULL_TRACE, Trace
+
+_ASSIGNMENT_CACHE = 8192  # bounded memory for request-id -> GSN bindings
+_RECENT_COMMITS = 2048  # bounded tail used for failover catch-up
+
+
+class SequentialReplicaHandler(ReplicaHandlerBase):
+    """Server-side gateway handler providing sequential consistency."""
+
+    def __init__(
+        self,
+        name: str,
+        groups: ServiceGroups,
+        app: ReplicatedObject,
+        rng: RngRegistry,
+        read_service_time: Distribution,
+        update_service_time: Optional[Distribution] = None,
+        lazy_update_interval: float = 2.0,
+        lazy_controller: Optional["AdaptiveLazyController"] = None,
+        gsn_wait_timeout: float = 0.25,
+        sync_timeout: float = 0.3,
+        trace: Trace = NULL_TRACE,
+        publish_performance: bool = True,
+        heartbeat_interval: float = 0.25,
+        rto: float = 0.05,
+    ) -> None:
+        super().__init__(
+            name,
+            groups,
+            app,
+            rng,
+            read_service_time,
+            update_service_time,
+            trace=trace,
+            publish_performance=publish_performance,
+            heartbeat_interval=heartbeat_interval,
+            rto=rto,
+        )
+        if lazy_update_interval <= 0:
+            raise ValueError(
+                f"lazy update interval must be positive, got {lazy_update_interval!r}"
+            )
+        self.lazy_update_interval = lazy_update_interval
+        self.lazy_controller = lazy_controller
+        self.gsn_wait_timeout = gsn_wait_timeout
+        self.sync_timeout = sync_timeout
+
+        # §4.1: the pair of protocol variables every gateway handler keeps.
+        self.my_gsn = 0
+        self.my_csn = 0
+
+        self._assignments: OrderedDict[int, int] = OrderedDict()
+        self._update_assignments: OrderedDict[int, int] = OrderedDict()
+        self._recent_commits: OrderedDict[int, int] = OrderedDict()
+        self._awaiting_gsn: dict[int, PendingRequest] = {}
+        self._commit_wait: dict[int, PendingRequest] = {}
+        self._update_in_flight: Optional[int] = None
+        self._stale_wait: list[tuple[int, PendingRequest]] = []
+        self._deferred: list[PendingRequest] = []
+        self._skips: set[int] = set()
+
+        # Lazy propagation / staleness accounting (§5.4.1).
+        self._lazy_epoch = 0
+        self._last_lazy_at = 0.0
+        self._updates_since_lazy = 0
+        self._updates_since_perf = 0
+        self._updates_since_tune = 0
+        self._last_tune_at = 0.0
+        self._lazy_tick_event = None
+        self._perf_anchor = 0.0
+        self.lazy_updates_sent = 0
+        self.lazy_updates_applied = 0
+
+        # Sequencer failover state.
+        self._sequencer_active = False
+        self._syncing = False
+        self._sync_id = 0
+        self._sync_replies: dict[str, SequencerSyncReply] = {}
+        self._sync_buffer: list[Request] = []
+        self.gsn_queries_sent = 0
+        self.reassignments = 0
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    @property
+    def lazy_publisher_name(self) -> Optional[str]:
+        """The designated publisher: the first non-leader primary member.
+
+        The sequencer (rank 0) does not serve requests, so it cannot be
+        the publisher; rank order makes the designation deterministic and
+        view changes re-designate automatically.
+        """
+        members = self.primary_view.members
+        if len(members) >= 2:
+            return members[1]
+        return members[0] if members else None
+
+    @property
+    def is_lazy_publisher(self) -> bool:
+        return self.lazy_publisher_name == self.name
+
+    def staleness(self) -> int:
+        """Current staleness in versions: ``my_GSN − my_CSN`` (§4.1.2)."""
+        return max(0, self.my_gsn - self.my_csn)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attached(self, network, host) -> None:
+        super().attached(network, host)
+        self._perf_anchor = self.now
+        self._last_lazy_at = self.now
+        self._lazy_tick_event = None
+        self._schedule_lazy_tick()
+        if self.lazy_controller is not None:
+            # The tuning loop runs on its own (faster) cadence so the
+            # controller reacts to load changes even while the publish
+            # interval is long.
+            self._updates_since_tune = 0
+            self._last_tune_at = self.now
+            self.sim.schedule(self._tune_interval(), self._tune_tick)
+
+    def _schedule_lazy_tick(self) -> None:
+        if self._lazy_tick_event is not None:
+            self._lazy_tick_event.cancel()
+        delay = max(0.0, (self._last_lazy_at + self.lazy_update_interval) - self.now)
+        self._lazy_tick_event = self.sim.schedule(delay, self._lazy_tick)
+
+    def _tune_interval(self) -> float:
+        # One-second observation windows: fast enough to catch an update
+        # storm within a few EWMA steps, long enough that low-rate traffic
+        # does not whipsaw the estimate.
+        assert self.lazy_controller is not None
+        return max(1.0, self.lazy_controller.min_interval)
+
+    def _tune_tick(self) -> None:
+        """Fixed-cadence observation + retuning of T_L (adaptive mode)."""
+        if self.network is None or self.lazy_controller is None:
+            return
+        if self.up and self.is_primary:
+            elapsed = self.now - self._last_tune_at
+            self.lazy_controller.observe(self._updates_since_tune, elapsed)
+            self._updates_since_tune = 0
+            self._last_tune_at = self.now
+            recommended = self.lazy_controller.recommended_interval()
+            if abs(recommended - self.lazy_update_interval) > 1e-9:
+                self.lazy_update_interval = recommended
+                self._schedule_lazy_tick()
+        self.sim.schedule(self._tune_interval(), self._tune_tick)
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+    def on_group_message(self, group: str, sender: str, payload: Any) -> None:
+        if isinstance(payload, Request):
+            self._on_request(payload)
+        elif isinstance(payload, GsnAssign):
+            self._on_assign(payload)
+        elif isinstance(payload, LazyUpdate):
+            self._on_lazy_update(payload)
+        elif isinstance(payload, GsnQuery):
+            self._on_gsn_query(payload)
+        elif isinstance(payload, SequencerSyncRequest):
+            self._on_sync_request(payload)
+        elif isinstance(payload, SequencerSyncReply):
+            self._on_sync_reply(payload)
+        elif isinstance(payload, GsnSkip):
+            self._on_skip(payload)
+        else:
+            self.trace.emit(
+                self.now, "replica.unknown-payload", self.name, kind=type(payload).__name__
+            )
+
+    # ------------------------------------------------------------------
+    # Request arrival (§4.1.1 updates, §4.1.2 reads)
+    # ------------------------------------------------------------------
+    def _on_request(self, request: Request) -> None:
+        if request.kind is RequestKind.UPDATE:
+            if self.is_primary:
+                self._updates_since_lazy += 1
+                self._updates_since_perf += 1
+                self._updates_since_tune += 1
+            if self.is_sequencer:
+                self._sequence_update(request)
+            elif self.is_primary:
+                self._buffer_for_gsn(request)
+            else:
+                self.trace.emit(
+                    self.now, "replica.misrouted-update", self.name,
+                    request_id=request.request_id,
+                )
+        else:
+            if self.is_sequencer:
+                self._sequence_read(request)
+            elif self.is_primary or self.is_secondary:
+                self._buffer_for_gsn(request)
+
+    def _sequence_update(self, request: Request) -> None:
+        """Sequencer role: advance the GSN and broadcast the assignment."""
+        if self._syncing:
+            self._sync_buffer.append(request)
+            return
+        self.my_gsn += 1
+        assign = GsnAssign(request.request_id, self.my_gsn, advances=True)
+        self._remember_assignment(request.request_id, self.my_gsn, update=True)
+        self.gmcast(self.groups.primary, assign, size_bytes=64)
+        self.trace.emit(
+            self.now, "sequencer.assign", self.name,
+            request_id=request.request_id, gsn=self.my_gsn,
+        )
+
+    def _sequence_read(self, request: Request) -> None:
+        """Sequencer role: broadcast the current GSN without advancing."""
+        assign = GsnAssign(request.request_id, self.my_gsn, advances=False)
+        self.gmcast(self.groups.primary, assign, size_bytes=64)
+        self.gmcast(self.groups.secondary, assign, size_bytes=64)
+        self.trace.emit(
+            self.now, "sequencer.stamp", self.name,
+            request_id=request.request_id, gsn=self.my_gsn,
+        )
+
+    def _buffer_for_gsn(self, request: Request) -> None:
+        pending = PendingRequest(request=request, arrived_at=self.now)
+        gsn = self._assignments.get(request.request_id)
+        if gsn is not None:
+            self._bind(pending, gsn)
+        else:
+            self._awaiting_gsn[request.request_id] = pending
+            if request.kind is RequestKind.READ:
+                self.sim.schedule(
+                    self.gsn_wait_timeout, self._gsn_retry, request.request_id
+                )
+
+    def _gsn_retry(self, request_id: int) -> None:
+        """Re-request a read's GSN if the stamp never arrived (failover)."""
+        pending = self._awaiting_gsn.get(request_id)
+        if pending is None or not self.up:
+            return
+        sequencer = self.sequencer_name
+        if sequencer is not None and sequencer != self.name:
+            self.gsend(
+                self.groups.qos, sequencer, GsnQuery(request_id, self.name),
+                size_bytes=64,
+            )
+            self.gsn_queries_sent += 1
+        self.sim.schedule(self.gsn_wait_timeout, self._gsn_retry, request_id)
+
+    def _on_gsn_query(self, query: GsnQuery) -> None:
+        if not self.is_sequencer:
+            return
+        assign = GsnAssign(query.request_id, self.my_gsn, advances=False)
+        self.gsend(self.groups.qos, query.replica, assign, size_bytes=64)
+
+    # ------------------------------------------------------------------
+    # GSN assignment handling
+    # ------------------------------------------------------------------
+    def _remember_assignment(self, request_id: int, gsn: int, update: bool) -> None:
+        self._assignments[request_id] = gsn
+        while len(self._assignments) > _ASSIGNMENT_CACHE:
+            self._assignments.popitem(last=False)
+        if update:
+            self._update_assignments[request_id] = gsn
+            while len(self._update_assignments) > _ASSIGNMENT_CACHE:
+                self._update_assignments.popitem(last=False)
+
+    def _on_assign(self, assign: GsnAssign) -> None:
+        if assign.advances and assign.request_id in self._recent_commits:
+            return  # already committed; a failover re-broadcast
+        previous = self._assignments.get(assign.request_id)
+        if assign.advances and previous is not None and previous != assign.gsn:
+            # Failover reassignment: rebind the buffered update.
+            waiting = self._commit_wait.pop(previous, None)
+            self._remember_assignment(assign.request_id, assign.gsn, update=True)
+            self.reassignments += 1
+            if waiting is not None:
+                waiting.gsn = assign.gsn
+                self._commit_wait[assign.gsn] = waiting
+                self._drain_commit_queue()
+            return
+        self._remember_assignment(assign.request_id, assign.gsn, update=assign.advances)
+        pending = self._awaiting_gsn.pop(assign.request_id, None)
+        if pending is not None:
+            self._bind(pending, assign.gsn)
+
+    def _bind(self, pending: PendingRequest, gsn: int) -> None:
+        """Apply a GSN to a buffered request and route it onward."""
+        pending.gsn = gsn
+        if pending.request.kind is RequestKind.UPDATE:
+            self._commit_wait[gsn] = pending
+            self._drain_commit_queue()
+            return
+        # Read: measure staleness against the stamped GSN (§4.1.2).
+        self.my_gsn = max(self.my_gsn, gsn)
+        staleness = max(0, gsn - self.my_csn)
+        threshold = pending.request.staleness_threshold
+        if staleness <= threshold:
+            self.enqueue_ready(pending)
+        elif self.is_secondary:
+            pending.defer_started_at = self.now
+            self._deferred.append(pending)
+            self.trace.emit(
+                self.now, "replica.defer", self.name,
+                request_id=pending.request.request_id,
+                staleness=staleness, threshold=threshold,
+            )
+        else:
+            # A primary that is transiently behind: serve once enough
+            # updates commit (its state converges without lazy updates).
+            self._stale_wait.append((gsn - threshold, pending))
+
+    # ------------------------------------------------------------------
+    # Commit ordering
+    # ------------------------------------------------------------------
+    def _drain_commit_queue(self) -> None:
+        while self._update_in_flight is None:
+            nxt = self.my_csn + 1
+            if nxt in self._skips:
+                self._skips.discard(nxt)
+                self.my_csn = nxt
+                continue
+            pending = self._commit_wait.pop(nxt, None)
+            if pending is None:
+                return
+            self._update_in_flight = nxt
+            self.enqueue_ready(pending)
+            return
+
+    def execute(self, pending: PendingRequest) -> Any:
+        value = super().execute(pending)
+        if pending.request.kind is RequestKind.UPDATE:
+            assert pending.gsn is not None
+            self.my_csn = pending.gsn
+            self.my_gsn = max(self.my_gsn, self.my_csn)
+            self.updates_committed += 1
+            self._recent_commits[pending.request.request_id] = pending.gsn
+            while len(self._recent_commits) > _RECENT_COMMITS:
+                self._recent_commits.popitem(last=False)
+        return value
+
+    def after_complete(self, pending: PendingRequest) -> None:
+        if pending.request.kind is RequestKind.UPDATE:
+            self._update_in_flight = None
+            self._drain_commit_queue()
+            self._drain_stale_waiters()
+
+    def _drain_stale_waiters(self) -> None:
+        if not self._stale_wait:
+            return
+        still_waiting = []
+        for required_csn, pending in self._stale_wait:
+            if self.my_csn >= required_csn:
+                self.enqueue_ready(pending)
+            else:
+                still_waiting.append((required_csn, pending))
+        self._stale_wait = still_waiting
+
+    def committed_gsn(self) -> int:
+        return self.my_csn
+
+    # ------------------------------------------------------------------
+    # Lazy update propagation (§3, §4.1.2)
+    # ------------------------------------------------------------------
+    def _lazy_tick(self) -> None:
+        """Fires every T_L on every primary; only the publisher sends.
+
+        All primaries share the tick so their ``updates-since-last-lazy``
+        counters stay aligned and a publisher failover needs no handshake.
+        """
+        if self.network is None:
+            return
+        if self.up and self.is_primary:
+            if self.is_lazy_publisher:
+                self._lazy_epoch += 1
+                update = LazyUpdate(
+                    publisher=self.name,
+                    epoch=self._lazy_epoch,
+                    csn=self.my_csn,
+                    snapshot=self.app.snapshot(),
+                )
+                self.gmcast(self.groups.secondary, update, size_bytes=1024)
+                self.lazy_updates_sent += 1
+                self.trace.emit(
+                    self.now, "lazy.publish", self.name,
+                    epoch=self._lazy_epoch, csn=self.my_csn,
+                    interval=self.lazy_update_interval,
+                )
+            self._updates_since_lazy = 0
+        # Advance the tick anchor unconditionally: a non-primary (or a
+        # crashed primary) must still reschedule one full interval ahead,
+        # not spin at zero delay.
+        self._last_lazy_at = self.now
+        self._schedule_lazy_tick()
+
+    def _on_lazy_update(self, update: LazyUpdate) -> None:
+        if not self.is_secondary:
+            return
+        if update.csn > self.my_csn:
+            self.app.restore(update.snapshot)
+            self.my_csn = update.csn
+            self.my_gsn = max(self.my_gsn, update.csn)
+            self.lazy_updates_applied += 1
+        # §4.1.2: deferred reads are answered "immediately after receiving
+        # the next state update from the lazy publisher".
+        deferred, self._deferred = self._deferred, []
+        for pending in deferred:
+            assert pending.defer_started_at is not None
+            pending.tb = self.now - pending.defer_started_at
+            self.enqueue_ready(pending)
+
+    # ------------------------------------------------------------------
+    # Staleness broadcast fields (§5.4.1)
+    # ------------------------------------------------------------------
+    def staleness_info(self) -> Optional[StalenessInfo]:
+        """Publisher-only extra fields; resets the ``n_u`` window.
+
+        Called exactly once per performance broadcast by the base class.
+        """
+        if not self.is_lazy_publisher:
+            return None
+        info = StalenessInfo(
+            n_u=self._updates_since_perf,
+            t_u=self.now - self._perf_anchor,
+            n_l=self._updates_since_lazy,
+            t_l=self.now - self._last_lazy_at,
+            lazy_interval=(
+                self.lazy_update_interval
+                if self.lazy_controller is not None
+                else None
+            ),
+        )
+        self._updates_since_perf = 0
+        self._perf_anchor = self.now
+        return info
+
+    # ------------------------------------------------------------------
+    # Sequencer failover
+    # ------------------------------------------------------------------
+    def on_view_change(self, view: View, previous: Optional[View]) -> None:
+        if view.group != self.groups.primary:
+            return
+        if view.leader == self.name and not self._sequencer_active:
+            self._sequencer_active = True
+            if previous is not None and len(previous) > len(view):
+                # We inherited the role from a crashed leader: recover GSNs.
+                self._start_sync()
+        elif view.leader != self.name:
+            self._sequencer_active = False
+
+    def _start_sync(self) -> None:
+        self._syncing = True
+        self._sync_id += 1
+        self._sync_replies = {self.name: self._local_sync_reply(self._sync_id)}
+        self.gmcast(
+            self.groups.primary,
+            SequencerSyncRequest(self.name, self._sync_id),
+            size_bytes=64,
+        )
+        self.sim.schedule(self.sync_timeout, self._finish_sync, self._sync_id)
+        self.trace.emit(self.now, "sequencer.sync-start", self.name, sync_id=self._sync_id)
+
+    def _local_sync_reply(self, sync_id: int) -> SequencerSyncReply:
+        assignments = dict(self._update_assignments)
+        assignments.update(self._recent_commits)
+        unassigned = sorted(
+            rid
+            for rid, pending in self._awaiting_gsn.items()
+            if pending.request.kind is RequestKind.UPDATE
+        )
+        return SequencerSyncReply(
+            member=self.name,
+            sync_id=sync_id,
+            max_gsn=max(self.my_gsn, self.my_csn),
+            csn=self.my_csn,
+            assignments=tuple(sorted(assignments.items(), key=lambda kv: kv[1])),
+            unassigned=tuple(unassigned),
+        )
+
+    def _on_sync_request(self, request: SequencerSyncRequest) -> None:
+        reply = self._local_sync_reply(request.sync_id)
+        self.gsend(self.groups.primary, request.new_sequencer, reply, size_bytes=512)
+
+    def _on_sync_reply(self, reply: SequencerSyncReply) -> None:
+        if not self._syncing or reply.sync_id != self._sync_id:
+            return
+        self._sync_replies[reply.member] = reply
+        expected = set(self.primary_view.members)
+        if expected.issubset(self._sync_replies):
+            self._finish_sync(self._sync_id)
+
+    def _finish_sync(self, sync_id: int) -> None:
+        if not self._syncing or sync_id != self._sync_id:
+            return
+        self._syncing = False
+        replies = list(self._sync_replies.values())
+        union: dict[int, int] = {}
+        for reply in replies:
+            union.update(dict(reply.assignments))
+        max_gsn = max([r.max_gsn for r in replies] + [self.my_gsn, self.my_csn])
+        min_csn = min(r.csn for r in replies)
+        self.my_gsn = max(self.my_gsn, max_gsn)
+        # Re-broadcast assignments members may have missed.
+        for rid, gsn in sorted(union.items(), key=lambda kv: kv[1]):
+            if gsn > min_csn:
+                self.gmcast(
+                    self.groups.primary, GsnAssign(rid, gsn, advances=True),
+                    size_bytes=64,
+                )
+        # GSNs nobody can attribute to a request become no-op skips.
+        known = set(union.values())
+        holes = tuple(
+            g for g in range(min_csn + 1, self.my_gsn + 1) if g not in known
+        )
+        if holes:
+            self.gmcast(self.groups.primary, GsnSkip(holes), size_bytes=64)
+            self._on_skip(GsnSkip(holes))
+        # Updates that never received a GSN get fresh ones, deterministically.
+        assigned = set(union)
+        fresh = sorted(
+            {rid for reply in replies for rid in reply.unassigned} - assigned
+        )
+        for rid in fresh:
+            self.my_gsn += 1
+            self._remember_assignment(rid, self.my_gsn, update=True)
+            self.gmcast(
+                self.groups.primary, GsnAssign(rid, self.my_gsn, advances=True),
+                size_bytes=64,
+            )
+        self.trace.emit(
+            self.now, "sequencer.sync-done", self.name,
+            max_gsn=self.my_gsn, holes=list(holes), fresh=fresh,
+        )
+        # Serve anything that arrived mid-sync.
+        buffered, self._sync_buffer = self._sync_buffer, []
+        for request in buffered:
+            self._sequence_update(request)
+
+    def _on_skip(self, skip: GsnSkip) -> None:
+        for gsn in skip.gsns:
+            if gsn > self.my_csn:
+                self._skips.add(gsn)
+        self._drain_commit_queue()

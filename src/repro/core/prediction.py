@@ -1,0 +1,126 @@
+"""Probabilistic models: response-time distributions and staleness factor.
+
+§5.2: the immediate-read response time of replica *i* is
+``R_i = S_i + W_i + G_i`` and its distribution ``F^I_{R_i}`` is evaluated
+as the discrete convolution of the pmfs of ``S_i`` and ``W_i`` (relative
+frequencies over the sliding windows) with the most recently recorded
+gateway delay ``G_i`` (a point mass).  A deferred read adds the lazy-wait
+term ``U_i`` (``R_i = S_i + W_i + G_i + U_i``) whose pmf comes from the
+recorded ``t_b`` history.
+
+§5.1.3 / Eq. 4: the staleness factor of the secondary group is the Poisson
+CDF ``P(N_u(t_l) <= a)`` with mean ``lambda_u * t_l``.
+
+Prediction quality notes:
+
+* before any history exists for a replica, the model returns an optimistic
+  CDF of 1.0 — the ``ert``-sorted selection order then naturally schedules
+  unknown replicas early, which bootstraps their windows (the paper starts
+  measuring from the first requests in the same way);
+* before any deferred read has been observed, ``U`` falls back to a
+  Uniform(0, T_L) pmf — exactly the distribution of the residual time to
+  the next lazy update seen by a request arriving at a random phase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.repository import ClientInfoRepository
+from repro.stats.pmf import DEFAULT_QUANTUM, DiscretePmf
+
+
+class ResponseTimePredictor:
+    """Evaluates ``F^I_{R_i}(d)``, ``F^D_{R_i}(d)``, and the staleness factor."""
+
+    def __init__(
+        self,
+        repository: ClientInfoRepository,
+        lazy_update_interval: float,
+        quantum: float = DEFAULT_QUANTUM,
+        default_gateway_delay: float = 0.001,
+        bootstrap_cdf: float = 1.0,
+        staleness_model: Optional["StalenessModel"] = None,
+    ) -> None:
+        if lazy_update_interval <= 0:
+            raise ValueError(
+                f"lazy interval must be positive, got {lazy_update_interval!r}"
+            )
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
+        if not 0.0 <= bootstrap_cdf <= 1.0:
+            raise ValueError(f"bootstrap cdf {bootstrap_cdf!r} outside [0, 1]")
+        from repro.core.staleness import PoissonStalenessModel
+
+        self.repository = repository
+        self.lazy_update_interval = lazy_update_interval
+        self.quantum = quantum
+        self.default_gateway_delay = default_gateway_delay
+        self.bootstrap_cdf = bootstrap_cdf
+        self.staleness_model = staleness_model or PoissonStalenessModel()
+        self.evaluations = 0  # number of distribution computations (Fig. 3)
+
+    # ------------------------------------------------------------------
+    # Response-time distributions (§5.2)
+    # ------------------------------------------------------------------
+    def response_cdfs(self, replica: str, deadline: float) -> tuple[float, float]:
+        """``(F^I_{R_i}(d), F^D_{R_i}(d))`` for one replica.
+
+        The immediate and deferred evaluations share the S*W*G convolution;
+        the deferred one convolves in the lazy-wait pmf on top.
+        """
+        stats = self.repository.stats_for(replica)
+        if not stats.has_history:
+            return (self.bootstrap_cdf, self.bootstrap_cdf)
+        self.evaluations += 1
+        base = self._immediate_pmf(stats)
+        immediate = base.cdf(deadline)
+        delayed = base.convolve(self._lazy_wait_pmf(stats)).cdf(deadline)
+        return (immediate, delayed)
+
+    def immediate_cdf(self, replica: str, deadline: float) -> float:
+        """``F^I_{R_i}(d)`` alone (primary replicas never defer)."""
+        stats = self.repository.stats_for(replica)
+        if not stats.has_history:
+            return self.bootstrap_cdf
+        self.evaluations += 1
+        return self._immediate_pmf(stats).cdf(deadline)
+
+    def _immediate_pmf(self, stats) -> DiscretePmf:
+        service = DiscretePmf.from_samples(stats.ts_window.samples(), self.quantum)
+        queuing = DiscretePmf.from_samples(stats.tq_window.samples(), self.quantum)
+        gateway = (
+            stats.latest_tg
+            if stats.latest_tg is not None
+            else self.default_gateway_delay
+        )
+        # G enters as its most recent value (§5.2.1): a shift of the grid.
+        return service.convolve(queuing).shift(gateway)
+
+    def _lazy_wait_pmf(self, stats) -> DiscretePmf:
+        if stats.tb_window:
+            return DiscretePmf.from_samples(stats.tb_window.samples(), self.quantum)
+        # No deferred read observed yet: residual time to the next lazy
+        # update for a uniformly random arrival phase is Uniform(0, T_L).
+        bins = max(1, int(round(self.lazy_update_interval / self.quantum)))
+        import numpy as np
+
+        return DiscretePmf(self.quantum, 0, np.full(bins, 1.0 / bins))
+
+    # ------------------------------------------------------------------
+    # Staleness factor (§5.1.3, Eq. 4)
+    # ------------------------------------------------------------------
+    def staleness_factor(self, staleness_threshold: int, now: float) -> float:
+        """``P(A_s(t) <= a)`` for the secondary group at time ``now``.
+
+        Delegates to the configured :class:`~repro.core.staleness
+        .StalenessModel` (Equation 4's Poisson model by default; §5.1.3
+        notes non-Poisson variants are possible and
+        :mod:`repro.core.staleness` provides them).
+        """
+        return self.staleness_model.staleness_factor(
+            staleness_threshold,
+            self.repository,
+            now,
+            self.lazy_update_interval,
+        )

@@ -1,0 +1,243 @@
+"""Server-side gateway handler base: execution, measurement, publishing.
+
+The consistency protocols (:mod:`repro.core.handlers`) decide *when* a
+request may execute; this base class owns everything else a server-side
+gateway handler does (§5.4):
+
+* a single-server processing queue per replica — requests execute one at a
+  time with a sampled service time (scaled by the host's speed factor),
+  which is what produces the queuing delay ``t_q`` the middleware measures;
+* per-request timing: ``t_q`` (arrival → service start, minus any deferred
+  wait), ``t_s`` (service), ``t_b`` (deferred-read buffering);
+* replying to the client with the piggybacked ``t1 = t_s + t_q + t_b``;
+* publishing a :class:`~repro.core.requests.PerfBroadcast` to every client
+  after each completed read ("Each server handler also publishes the newly
+  measured values ... whenever it completes servicing a read request").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.requests import PerfBroadcast, Reply, Request, RequestKind, StalenessInfo
+from repro.core.state import ReplicatedObject
+from repro.groups.group import GroupEndpoint
+from repro.groups.membership import View
+from repro.sim.rng import Distribution, RngRegistry
+from repro.sim.tracing import NULL_TRACE, Trace
+
+
+@dataclass(frozen=True)
+class ServiceGroups:
+    """The three group names of one replicated service (Figure 1)."""
+
+    service: str
+
+    @property
+    def primary(self) -> str:
+        return f"{self.service}.primary"
+
+    @property
+    def secondary(self) -> str:
+        return f"{self.service}.secondary"
+
+    @property
+    def qos(self) -> str:
+        return f"{self.service}.qos"
+
+
+@dataclass
+class PendingRequest:
+    """A request somewhere between arrival and completion on this replica."""
+
+    request: Request
+    arrived_at: float
+    gsn: Optional[int] = None
+    defer_started_at: Optional[float] = None
+    tb: float = 0.0
+    started_at: Optional[float] = None
+
+    @property
+    def deferred(self) -> bool:
+        return self.tb > 0.0 or self.defer_started_at is not None
+
+
+class ReplicaHandlerBase(GroupEndpoint):
+    """Common machinery for all server-side consistency handlers."""
+
+    def __init__(
+        self,
+        name: str,
+        groups: ServiceGroups,
+        app: ReplicatedObject,
+        rng: RngRegistry,
+        read_service_time: Distribution,
+        update_service_time: Optional[Distribution] = None,
+        trace: Trace = NULL_TRACE,
+        publish_performance: bool = True,
+        heartbeat_interval: float = 0.25,
+        rto: float = 0.05,
+    ) -> None:
+        super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
+        self.groups = groups
+        self.app = app
+        self.rng = rng
+        self.read_service_time = read_service_time
+        self.update_service_time = update_service_time or read_service_time
+        self.trace = trace
+        self.publish_performance = publish_performance
+        self._ready: deque[PendingRequest] = deque()
+        self._busy = False
+        self.reads_served = 0
+        self.updates_committed = 0
+        self.deferred_reads_served = 0
+        self.busy_time = 0.0  # accumulated service time (utilization)
+
+    # ------------------------------------------------------------------
+    # Identity and roles (derived from views)
+    # ------------------------------------------------------------------
+    @property
+    def primary_view(self) -> View:
+        return self.view_of(self.groups.primary)
+
+    @property
+    def secondary_view(self) -> View:
+        return self.view_of(self.groups.secondary)
+
+    @property
+    def qos_view(self) -> View:
+        return self.view_of(self.groups.qos)
+
+    @property
+    def is_primary(self) -> bool:
+        return self.name in self.primary_view
+
+    @property
+    def is_secondary(self) -> bool:
+        return self.name in self.secondary_view
+
+    @property
+    def sequencer_name(self) -> Optional[str]:
+        """The sequencer is the leader of the primary group (§4.1)."""
+        return self.primary_view.leader
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.sequencer_name == self.name
+
+    def replica_names(self) -> set[str]:
+        return set(self.primary_view.members) | set(self.secondary_view.members)
+
+    def client_names(self) -> list[str]:
+        """QoS-group members that are not replicas (i.e. the clients)."""
+        replicas = self.replica_names()
+        return [m for m in self.qos_view.members if m not in replicas]
+
+    # ------------------------------------------------------------------
+    # Processing queue
+    # ------------------------------------------------------------------
+    def enqueue_ready(self, pending: PendingRequest) -> None:
+        """Hand a request whose ordering constraints are met to the server."""
+        self._ready.append(pending)
+        self._maybe_start()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._ready) + (1 if self._busy else 0)
+
+    def _maybe_start(self) -> None:
+        if self._busy or not self._ready or not self.up:
+            return
+        pending = self._ready.popleft()
+        self._busy = True
+        pending.started_at = self.now
+        model = (
+            self.read_service_time
+            if pending.request.kind is RequestKind.READ
+            else self.update_service_time
+        )
+        duration = model.sample(self.rng.stream(f"service.{self.name}"))
+        if self.host is not None:
+            duration = self.host.scale(duration)
+        self.sim.schedule(duration, self._complete, pending, duration)
+
+    def _complete(self, pending: PendingRequest, ts: float) -> None:
+        self._busy = False
+        if not self.up:
+            # The replica crashed while "serving"; the work is lost.
+            return
+        self.busy_time += ts
+        assert pending.started_at is not None
+        tq = max(0.0, (pending.started_at - pending.arrived_at) - pending.tb)
+        value = self.execute(pending)
+        t1 = ts + tq + pending.tb
+        reply = Reply(
+            request_id=pending.request.request_id,
+            replica=self.name,
+            kind=pending.request.kind,
+            value=value,
+            t1=t1,
+            gsn=self.committed_gsn(),
+            deferred=pending.deferred,
+            context=self.reply_context(),
+        )
+        # Replies travel over the reliable QoS-group channel to the client.
+        self.gsend(self.groups.qos, pending.request.client, reply)
+        if pending.request.kind is RequestKind.READ:
+            self.reads_served += 1
+            if pending.deferred:
+                self.deferred_reads_served += 1
+            if self.publish_performance:
+                self._publish_performance(ts, tq, pending)
+        self.trace.emit(
+            self.now,
+            "replica.complete",
+            self.name,
+            request_id=pending.request.request_id,
+            kind=pending.request.kind.value,
+            ts=ts,
+            tq=tq,
+            tb=pending.tb,
+        )
+        self._maybe_start()
+        self.after_complete(pending)
+
+    # ------------------------------------------------------------------
+    # Performance publishing (§5.4)
+    # ------------------------------------------------------------------
+    def _publish_performance(self, ts: float, tq: float, pending: PendingRequest) -> None:
+        broadcast = PerfBroadcast(
+            replica=self.name,
+            ts=ts,
+            tq=tq,
+            tb=pending.tb if pending.deferred else None,
+            staleness=self.staleness_info(),
+        )
+        # Advisory data: plain (unreliable) multicast is fine, as with UDP
+        # publishing in the original system; a lost broadcast just means a
+        # slightly staler window at one client.
+        self.multicast(self.client_names(), broadcast, size_bytes=128)
+
+    # ------------------------------------------------------------------
+    # Hooks for the consistency protocols
+    # ------------------------------------------------------------------
+    def execute(self, pending: PendingRequest) -> Any:
+        """Run the operation against the application state."""
+        return self.app.invoke(pending.request.method, pending.request.args)
+
+    def committed_gsn(self) -> int:
+        """The version stamp to attach to replies.  Protocols override."""
+        return 0
+
+    def staleness_info(self) -> Optional[StalenessInfo]:
+        """Extra lazy-publisher fields (§5.4.1); None for other replicas."""
+        return None
+
+    def reply_context(self) -> Any:
+        """Protocol piggyback on replies (the causal handler's clock)."""
+        return None
+
+    def after_complete(self, pending: PendingRequest) -> None:
+        """Post-completion hook (e.g. CSN advancement drains buffers)."""

@@ -1,0 +1,357 @@
+"""Assembly of a whole replicated service (Figure 1).
+
+:class:`ReplicatedService` wires up the two-level replica organization of
+§3 on a simulated network: a primary replication group (sequencer +
+serving primaries for the sequential handler; serving primaries only for
+FIFO), a secondary replication group, and the QoS group spanning all
+replicas and their clients.  It registers everything with the membership
+service, installs the initial views synchronously, and hands out
+:class:`~repro.core.client.ClientHandler` instances via
+:meth:`create_client`.
+
+:func:`build_testbed` creates the full stack (simulator, RNG registry,
+network, membership, service) in one call — the entry point the examples
+and the experiment harness both use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.client import ClientHandler
+from repro.core.handlers.fifo import FifoReplicaHandler
+from repro.core.handlers.sequential import SequentialReplicaHandler
+from repro.core.qos import OrderingGuarantee, QoSSpec
+from repro.core.replica import ReplicaHandlerBase, ServiceGroups
+from repro.core.selection import SelectionStrategy
+from repro.core.staleness import StalenessModel
+from repro.core.state import CounterObject, ReplicatedObject
+from repro.core.tuning import StalenessTarget
+from repro.groups.membership import MembershipConfig, MembershipService
+from repro.net.latency import LanLatency, LatencyModel
+from repro.net.network import Network
+from repro.net.node import Host
+from repro.sim.kernel import Simulator
+from repro.sim.rng import Distribution, Normal, RngRegistry
+from repro.sim.tracing import NULL_TRACE, Trace
+
+
+def default_service_time() -> Distribution:
+    """§6's simulated background load: normally distributed service delay
+    with a mean of 100 ms (spread parameter 50 ms; see DESIGN.md on the
+    paper's ambiguous "variance of 50 milliseconds")."""
+    return Normal(0.100, 0.050, floor=0.002)
+
+
+@dataclass
+class ServiceConfig:
+    """Everything tunable about one replicated service."""
+
+    name: str = "svc"
+    num_primaries: int = 4  # serving primaries; the sequencer is extra
+    num_secondaries: int = 6
+    ordering: OrderingGuarantee = OrderingGuarantee.SEQUENTIAL
+    lazy_update_interval: float = 2.0  # T_L / "LUI" in §6
+    # Optional closed-loop T_L tuning (repro.core.tuning): when set, the
+    # lazy publisher adapts the interval to hold this staleness target
+    # and announces the live value through its staleness broadcasts.
+    adaptive_lazy_target: Optional["StalenessTarget"] = None
+    window_size: int = 20  # sliding window l (§5.2; §6 uses 20)
+    quantum: float = 1e-3  # pmf grid (1 ms bins)
+    read_service_time: Distribution = field(default_factory=default_service_time)
+    update_service_time: Optional[Distribution] = None
+    host_speed_factors: Optional[Sequence[float]] = None  # cycled over replicas
+    publish_performance: bool = True
+    charge_selection_overhead: bool = False
+    heartbeat_interval: float = 0.25
+    suspect_timeout: float = 1.0
+    rto: float = 0.05
+    gsn_wait_timeout: float = 0.25
+    gc_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.num_primaries < 1:
+            raise ValueError("need at least one serving primary")
+        if self.num_secondaries < 0:
+            raise ValueError("negative secondary count")
+        if self.lazy_update_interval <= 0:
+            raise ValueError("lazy update interval must be positive")
+
+    @property
+    def has_sequencer(self) -> bool:
+        return self.ordering is OrderingGuarantee.SEQUENTIAL
+
+
+class ReplicatedService:
+    """One replicated service: replicas, groups, and client factory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        membership: MembershipService,
+        rng: RngRegistry,
+        config: Optional[ServiceConfig] = None,
+        app_factory: Callable[[], ReplicatedObject] = CounterObject,
+        trace: Trace = NULL_TRACE,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.membership = membership
+        self.rng = rng
+        self.config = config or ServiceConfig()
+        self.app_factory = app_factory
+        self.trace = trace
+        self.groups = ServiceGroups(self.config.name)
+        self.clients: dict[str, ClientHandler] = {}
+
+        self._speed_cycle = list(self.config.host_speed_factors or [1.0])
+        self._next_host = 0
+
+        self.sequencer: Optional[ReplicaHandlerBase] = None
+        self.primaries: list[ReplicaHandlerBase] = []
+        self.secondaries: list[ReplicaHandlerBase] = []
+        self._build_replicas()
+        self._register_groups()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _make_host(self, name: str) -> Host:
+        factor = self._speed_cycle[self._next_host % len(self._speed_cycle)]
+        self._next_host += 1
+        return Host(name, factor)
+
+    def _make_replica(self, name: str) -> ReplicaHandlerBase:
+        from repro.core.handlers import replica_handler_for
+
+        cfg = self.config
+        common = dict(
+            groups=self.groups,
+            app=self.app_factory(),
+            rng=self.rng,
+            read_service_time=cfg.read_service_time,
+            update_service_time=cfg.update_service_time,
+            lazy_update_interval=cfg.lazy_update_interval,
+            trace=self.trace,
+            publish_performance=cfg.publish_performance,
+            heartbeat_interval=cfg.heartbeat_interval,
+            rto=cfg.rto,
+        )
+        handler_cls = replica_handler_for(cfg.ordering)
+        if handler_cls is SequentialReplicaHandler:
+            common["gsn_wait_timeout"] = cfg.gsn_wait_timeout
+            if cfg.adaptive_lazy_target is not None:
+                from repro.core.tuning import AdaptiveLazyController
+
+                common["lazy_controller"] = AdaptiveLazyController(
+                    cfg.adaptive_lazy_target
+                )
+        handler: ReplicaHandlerBase = handler_cls(name, **common)
+        self.network.attach(handler, self._make_host(f"host-{name}"))
+        return handler
+
+    def _build_replicas(self) -> None:
+        cfg = self.config
+        if cfg.has_sequencer:
+            self.sequencer = self._make_replica(f"{cfg.name}-seq")
+        for i in range(1, cfg.num_primaries + 1):
+            self.primaries.append(self._make_replica(f"{cfg.name}-p{i}"))
+        for i in range(1, cfg.num_secondaries + 1):
+            self.secondaries.append(self._make_replica(f"{cfg.name}-s{i}"))
+
+    def _register_groups(self) -> None:
+        # Rank order matters: the sequencer registers first so it leads the
+        # primary group; p1 is next, making it the designated lazy
+        # publisher for the sequential handler.
+        primary_members: list[ReplicaHandlerBase] = []
+        if self.sequencer is not None:
+            primary_members.append(self.sequencer)
+        primary_members.extend(self.primaries)
+
+        for handler in primary_members:
+            self.membership.register(self.groups.primary, handler.name)
+            handler.assume_membership(self.groups.primary)
+        for handler in self.secondaries:
+            self.membership.register(self.groups.secondary, handler.name)
+            handler.assume_membership(self.groups.secondary)
+        for handler in self.all_replicas():
+            self.membership.register(self.groups.qos, handler.name)
+            handler.assume_membership(self.groups.qos)
+
+        # Every replica needs all three views (roles, publisher targets,
+        # client lists); watch the groups it is not a member of and install
+        # the initial views synchronously.
+        for handler in self.all_replicas():
+            for group in (self.groups.primary, self.groups.secondary, self.groups.qos):
+                if handler.name not in self.membership.view_of(group):
+                    self.membership.watch(group, handler.name)
+        self._push_views()
+
+    def _push_views(self) -> None:
+        for handler in self.all_replicas():
+            for group in (self.groups.primary, self.groups.secondary, self.groups.qos):
+                handler.adopt_view(self.membership.view_of(group))
+        for client in self.clients.values():
+            for group in (self.groups.primary, self.groups.secondary, self.groups.qos):
+                client.adopt_view(self.membership.view_of(group))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def all_replicas(self) -> list[ReplicaHandlerBase]:
+        replicas: list[ReplicaHandlerBase] = []
+        if self.sequencer is not None:
+            replicas.append(self.sequencer)
+        replicas.extend(self.primaries)
+        replicas.extend(self.secondaries)
+        return replicas
+
+    def replica_by_name(self, name: str) -> ReplicaHandlerBase:
+        for handler in self.all_replicas():
+            if handler.name == name:
+                return handler
+        raise KeyError(f"no replica named {name!r}")
+
+    @property
+    def sequencer_name(self) -> Optional[str]:
+        return self.sequencer.name if self.sequencer is not None else None
+
+    def serving_replica_count(self) -> int:
+        return len(self.primaries) + len(self.secondaries)
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (scale-out and recovery)
+    # ------------------------------------------------------------------
+    def add_secondary(self) -> ReplicaHandlerBase:
+        """Grow the secondary group at runtime.
+
+        §3: "The size of these groups can be tuned to implement a range of
+        consistency semantics."  A fresh secondary joins with empty state
+        and synchronizes at the next lazy update — exactly how the
+        protocol keeps any secondary current, so no extra state-transfer
+        machinery is needed.
+        """
+        self._secondary_counter = getattr(
+            self, "_secondary_counter", len(self.secondaries)
+        ) + 1
+        handler = self._make_replica(f"{self.config.name}-s{self._secondary_counter}")
+        self.secondaries.append(handler)
+        self.membership.register(self.groups.secondary, handler.name)
+        handler.assume_membership(self.groups.secondary)
+        self.membership.register(self.groups.qos, handler.name)
+        handler.assume_membership(self.groups.qos)
+        self.membership.watch(self.groups.primary, handler.name)
+        self._push_views()
+        return handler
+
+    def recover_secondary(self, name: str) -> ReplicaHandlerBase:
+        """Bring a crashed-and-evicted secondary back into service.
+
+        The fabric is told the endpoint is up again, the replica rejoins
+        its groups (fresh channel epochs are opened automatically by the
+        view change), and the next lazy update restores its state.
+        """
+        handler = self.replica_by_name(name)
+        if handler not in self.secondaries:
+            raise ValueError(
+                f"{name!r} is not a secondary; primary recovery would need "
+                "a state-transfer protocol the paper does not describe"
+            )
+        self.network.recover(name)
+        self.membership.register(self.groups.secondary, name)
+        self.membership.register(self.groups.qos, name)
+        handler.assume_membership(self.groups.secondary)
+        handler.assume_membership(self.groups.qos)
+        self._push_views()
+        return handler
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def create_client(
+        self,
+        name: str,
+        read_only_methods: Optional[set[str]] = None,
+        default_qos: Optional[QoSSpec] = None,
+        strategy: Optional[SelectionStrategy] = None,
+        staleness_model: Optional["StalenessModel"] = None,
+        on_qos_violation: Optional[Callable[[float], None]] = None,
+        host: Optional[Host] = None,
+    ) -> ClientHandler:
+        """Create and wire a client gateway handler for this service."""
+        from repro.core.handlers import client_handler_for
+
+        if name in self.clients:
+            raise ValueError(f"client {name!r} already exists")
+        cfg = self.config
+        handler_cls = client_handler_for(cfg.ordering)
+        handler = handler_cls(
+            name,
+            groups=self.groups,
+            lazy_update_interval=cfg.lazy_update_interval,
+            read_only_methods=read_only_methods,
+            strategy=strategy,
+            staleness_model=staleness_model,
+            window_size=cfg.window_size,
+            quantum=cfg.quantum,
+            default_qos=default_qos,
+            has_sequencer=cfg.has_sequencer,
+            charge_selection_overhead=cfg.charge_selection_overhead,
+            gc_timeout=cfg.gc_timeout,
+            on_qos_violation=on_qos_violation,
+            trace=self.trace,
+            heartbeat_interval=cfg.heartbeat_interval,
+            rto=cfg.rto,
+        )
+        self.network.attach(handler, host or self._make_host(f"host-{name}"))
+        self.membership.register(self.groups.qos, name)
+        handler.assume_membership(self.groups.qos)
+        self.membership.watch(self.groups.primary, name)
+        self.membership.watch(self.groups.secondary, name)
+        self.clients[name] = handler
+        self._push_views()
+        return handler
+
+
+@dataclass
+class Testbed:
+    """A complete simulated deployment: one call away from experiments."""
+
+    sim: Simulator
+    rng: RngRegistry
+    network: Network
+    membership: MembershipService
+    service: ReplicatedService
+    trace: Trace
+
+
+def build_testbed(
+    config: Optional[ServiceConfig] = None,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    app_factory: Callable[[], ReplicatedObject] = CounterObject,
+    trace: Optional[Trace] = None,
+    membership_config: Optional[MembershipConfig] = None,
+) -> Testbed:
+    """Build simulator + network + membership + one replicated service."""
+    config = config or ServiceConfig()
+    trace = trace if trace is not None else NULL_TRACE
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    network = Network(sim, rng, latency or LanLatency(), trace=trace)
+    membership = MembershipService(
+        config=membership_config
+        or MembershipConfig(
+            heartbeat_interval=config.heartbeat_interval,
+            suspect_timeout=config.suspect_timeout,
+            sweep_interval=config.heartbeat_interval,
+        ),
+        trace=trace,
+    )
+    network.attach(membership)
+    service = ReplicatedService(
+        sim, network, membership, rng, config, app_factory, trace
+    )
+    return Testbed(sim, rng, network, membership, service, trace)

@@ -1,0 +1,128 @@
+"""Adaptive lazy-update-interval control.
+
+§3: "The degree of divergence between the states of primary and secondary
+replicas can be bounded by choosing an appropriate frequency for the lazy
+update propagation."  The paper chooses that frequency statically (the
+LUI of §6); this module chooses it *adaptively*, closing the loop with the
+same Poisson model Eq. 4 uses for selection:
+
+Given a staleness target — "just before a lazy update fires, the secondary
+group should satisfy ``P(A_s <= a) >= p``" — and the measured update
+arrival rate ``lambda_u``, the controller solves for the largest Poisson
+mean ``m*`` with ``P(N <= a | m*) >= p`` and recommends
+``T_L = m* / lambda_u``: the longest interval (fewest propagation
+messages) that still meets the consistency target.  The rate estimate is
+an EWMA over per-interval counts, so the interval tightens during update
+storms and relaxes when traffic quiets down.
+
+Wire-up: pass ``adaptive_lazy_target`` in
+:class:`~repro.core.service.ServiceConfig`; the lazy publisher re-tunes on
+every tick and announces the interval in effect through its staleness
+broadcasts (clients need ``T_L`` for the ``t_l`` modulo of §5.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.poisson import poisson_cdf
+
+
+@dataclass(frozen=True)
+class StalenessTarget:
+    """The consistency goal the controller maintains.
+
+    At the most stale instant (immediately before a lazy propagation) the
+    secondary group should still satisfy ``P(A_s <= threshold) >=
+    probability``.
+    """
+
+    threshold: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError(f"negative staleness threshold {self.threshold!r}")
+        if not 0.0 < self.probability < 1.0:
+            raise ValueError(
+                f"target probability must be in (0, 1), got {self.probability!r}"
+            )
+
+
+def max_poisson_mean(threshold: int, probability: float, tol: float = 1e-6) -> float:
+    """Largest mean ``m`` with ``P(Poisson(m) <= threshold) >= probability``.
+
+    Monotone in ``m`` (the CDF falls as the mean grows), so a bisection
+    over ``m`` suffices.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {probability!r}")
+    if threshold < 0:
+        return 0.0
+    low, high = 0.0, 1.0
+    while poisson_cdf(threshold, high) >= probability:
+        high *= 2.0
+        if high > 1e9:  # pragma: no cover - absurd targets
+            return high
+    while high - low > tol * max(1.0, high):
+        mid = (low + high) / 2.0
+        if poisson_cdf(threshold, mid) >= probability:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+class AdaptiveLazyController:
+    """Tunes the lazy update interval to hold a staleness target."""
+
+    def __init__(
+        self,
+        target: StalenessTarget,
+        min_interval: float = 0.1,
+        max_interval: float = 30.0,
+        ewma_alpha: float = 0.3,
+        initial_rate: float = 0.0,
+    ) -> None:
+        if min_interval <= 0 or max_interval < min_interval:
+            raise ValueError(
+                f"invalid interval bounds [{min_interval}, {max_interval}]"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma alpha must be in (0, 1], got {ewma_alpha!r}")
+        self.target = target
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.ewma_alpha = ewma_alpha
+        self._rate = float(initial_rate)
+        self._have_observation = initial_rate > 0
+        # The budget: the largest tolerable expected update count per
+        # interval, fixed by the target alone.
+        self.mean_budget = max_poisson_mean(target.threshold, target.probability)
+        self.observations = 0
+
+    @property
+    def estimated_rate(self) -> float:
+        """Current EWMA of the update arrival rate (per second)."""
+        return self._rate
+
+    def observe(self, updates: int, interval: float) -> None:
+        """Fold one lazy interval's update count into the rate estimate."""
+        if updates < 0:
+            raise ValueError(f"negative update count {updates!r}")
+        if interval <= 0:
+            return
+        rate = updates / interval
+        if self._have_observation:
+            self._rate += self.ewma_alpha * (rate - self._rate)
+        else:
+            self._rate = rate
+            self._have_observation = True
+        self.observations += 1
+
+    def recommended_interval(self) -> float:
+        """The longest interval that still meets the staleness target."""
+        if self._rate <= 0.0:
+            return self.max_interval  # no updates: propagate rarely
+        raw = self.mean_budget / self._rate
+        return min(self.max_interval, max(self.min_interval, raw))

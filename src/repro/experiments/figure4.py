@@ -1,0 +1,174 @@
+"""Figure 4: adaptivity of the probabilistic model (both panels).
+
+The §6 validation experiment: 10 replicas (4 primary + 6 secondary) plus
+the sequencer; two clients issuing 1000 alternating write/read requests
+with a 1000 ms request delay.  Client 1 is fixed at ``<a=4, d=200 ms,
+P_c=0.1>``; client 2 sweeps its deadline with ``a=2`` for each combination
+of ``P_c ∈ {0.9, 0.5}`` and ``LUI ∈ {2 s, 4 s}``.
+
+Panel (a): average number of replicas selected for client 2 — should fall
+as the deadline loosens, be higher for the stricter P_c, and higher for
+the longer LUI.  Panel (b): observed timing-failure probability with 95 %
+binomial confidence intervals — should stay within ``1 − P_c`` and fall
+with the deadline; the longer LUI gives more deferred reads and therefore
+more timing failures.
+
+Run: ``python -m repro.experiments.figure4`` (add ``--quick`` for a
+shorter sweep).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.selection import SelectionStrategy
+from repro.experiments.harness import Figure4Cell, run_figure4_cell
+from repro.experiments.report import format_series, format_table
+
+DEADLINES_MS = (80, 100, 120, 140, 160, 180, 200, 220)
+PROBABILITIES = (0.9, 0.5)
+LAZY_INTERVALS = (2.0, 4.0)
+
+
+@dataclass
+class Figure4Result:
+    """All cells of the sweep, keyed by (P_c, LUI, deadline ms)."""
+
+    cells: dict[tuple[float, float, int], Figure4Cell] = field(default_factory=dict)
+
+    def series(self, probability: float, lui: float) -> list[Figure4Cell]:
+        return [
+            self.cells[(probability, lui, d)]
+            for d in sorted({key[2] for key in self.cells})
+            if (probability, lui, d) in self.cells
+        ]
+
+    def configurations(self) -> list[tuple[float, float]]:
+        return sorted({(p, l) for (p, l, _) in self.cells}, reverse=True)
+
+    # -- shape checks used by tests and EXPERIMENTS.md -------------------
+    def selection_decreases_with_deadline(
+        self, probability: float, lui: float, slack: float = 1.0
+    ) -> bool:
+        """Panel (a): tightest deadline needs at least as many replicas as
+        the loosest (monotone trend with per-point noise allowance)."""
+        series = self.series(probability, lui)
+        if len(series) < 2:
+            return True
+        first, last = series[0], series[-1]
+        monotone_ends = first.avg_replicas_selected >= last.avg_replicas_selected
+        no_big_bumps = all(
+            later.avg_replicas_selected
+            <= earlier.avg_replicas_selected + slack
+            for earlier, later in zip(series, series[1:])
+        )
+        return monotone_ends and no_big_bumps
+
+    def qos_met_everywhere(self, probability: float, lui: float) -> bool:
+        """Panel (b): observed failure probability within 1 − P_c."""
+        return all(cell.meets_qos() for cell in self.series(probability, lui))
+
+
+def run_figure4(
+    deadlines_ms: Sequence[int] = DEADLINES_MS,
+    probabilities: Sequence[float] = PROBABILITIES,
+    lazy_intervals: Sequence[float] = LAZY_INTERVALS,
+    total_requests: int = 1000,
+    seed: int = 0,
+    staleness_threshold: int = 2,
+    strategy2: Optional[SelectionStrategy] = None,
+) -> Figure4Result:
+    result = Figure4Result()
+    for probability in probabilities:
+        for lui in lazy_intervals:
+            for deadline_ms in deadlines_ms:
+                cell = run_figure4_cell(
+                    deadline=deadline_ms / 1000.0,
+                    min_probability=probability,
+                    lazy_update_interval=lui,
+                    total_requests=total_requests,
+                    seed=seed,
+                    staleness_threshold=staleness_threshold,
+                    strategy2=strategy2,
+                )
+                result.cells[(probability, lui, deadline_ms)] = cell
+    return result
+
+
+def render(result: Figure4Result) -> str:
+    blocks = []
+    rows_a = []
+    rows_b = []
+    for probability, lui in result.configurations():
+        for cell in result.series(probability, lui):
+            label = (f"{probability:.1f}", f"{lui:g}", int(cell.deadline * 1000))
+            rows_a.append(label + (cell.avg_replicas_selected,))
+            rows_b.append(
+                label
+                + (
+                    cell.timing_failure_probability,
+                    f"[{cell.ci_low:.3f}, {cell.ci_high:.3f}]",
+                    cell.timing_failures,
+                    cell.reads,
+                    "yes" if cell.meets_qos() else "NO",
+                )
+            )
+    blocks.append(
+        format_table(
+            ["P_c", "LUI_s", "deadline_ms", "avg_replicas_selected"],
+            rows_a,
+            title="Figure 4(a) — average number of replicas selected (client 2)",
+        )
+    )
+    blocks.append(
+        format_table(
+            ["P_c", "LUI_s", "deadline_ms", "P(timing failure)", "95% CI",
+             "failures", "reads", "QoS met"],
+            rows_b,
+            title="Figure 4(b) — observed probability of timing failure (client 2)",
+        )
+    )
+    for probability, lui in result.configurations():
+        series = result.series(probability, lui)
+        xs = [cell.deadline * 1000 for cell in series]
+        blocks.append(
+            format_series(
+                f"selected(P_c={probability}, LUI={lui:g}s)",
+                xs,
+                [cell.avg_replicas_selected for cell in series],
+            )
+        )
+        blocks.append(
+            format_series(
+                f"failure(P_c={probability}, LUI={lui:g}s)",
+                xs,
+                [cell.timing_failure_probability for cell in series],
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[list[str]] = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    result = run_figure4(
+        deadlines_ms=(100, 160, 220) if quick else DEADLINES_MS,
+        total_requests=200 if quick else 1000,
+    )
+    print(render(result))
+    if "--save" in argv:
+        from repro.experiments.report import save_results
+
+        path = argv[argv.index("--save") + 1]
+        save_results(
+            path,
+            [result.cells[key] for key in sorted(result.cells)],
+            meta={"experiment": "figure4", "quick": quick},
+        )
+        print(f"\nsaved to {path}")
+
+
+if __name__ == "__main__":
+    main()

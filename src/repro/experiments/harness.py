@@ -1,0 +1,213 @@
+"""Shared experiment runners.
+
+Two kinds of measurement, matching the paper's §6:
+
+* :func:`measure_selection_overhead` — *wall-clock* cost of one
+  prediction + selection pass over ``n`` replicas with sliding windows of
+  size ``l`` (the quantity in Figure 3).  The repository is pre-filled
+  with realistic samples; the timed region is exactly what the client
+  gateway executes per read: compute every candidate's response-time
+  distribution values, the staleness factor, and run Algorithm 1.
+* :func:`run_figure4_cell` — one full simulated run of the §6 testbed for
+  a given (deadline, P_c, LUI) cell, returning client 2's averages with
+  95 % binomial confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.prediction import ResponseTimePredictor
+from repro.core.qos import QoSSpec
+from repro.core.repository import ClientInfoRepository
+from repro.core.requests import PerfBroadcast, StalenessInfo
+from repro.core.selection import ReplicaView, SelectionStrategy, StateBasedSelection
+from repro.sim.rng import RngRegistry
+from repro.stats.confidence import binomial_confidence_interval
+from repro.workloads.scenarios import build_paper_scenario
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: selection overhead
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectionOverheadResult:
+    """Per-read selection cost, microseconds (Figure 3)."""
+
+    num_replicas: int
+    window_size: int
+    total_us: float
+    distribution_us: float  # distribution computation share (paper: ~90 %)
+    selection_us: float  # Algorithm 1 share (paper: ~10 %)
+    repetitions: int
+
+    @property
+    def distribution_share(self) -> float:
+        if self.total_us == 0:
+            return 0.0
+        return self.distribution_us / self.total_us
+
+
+def _synthetic_repository(
+    num_replicas: int,
+    window_size: int,
+    seed: int,
+    num_primaries: int,
+    lazy_update_interval: float,
+) -> tuple[ClientInfoRepository, list[str], list[str]]:
+    """A repository pre-filled as it would be mid-run on the §6 testbed."""
+    rng = RngRegistry(seed).stream("figure3")
+    repo = ClientInfoRepository(window_size)
+    primaries = [f"p{i}" for i in range(1, min(num_primaries, num_replicas) + 1)]
+    secondaries = [f"s{i}" for i in range(1, num_replicas - len(primaries) + 1)]
+    for name in primaries + secondaries:
+        for _ in range(window_size):
+            ts = max(0.002, rng.gauss(0.100, 0.050))
+            tq = max(0.0, rng.gauss(0.010, 0.010))
+            tb = rng.uniform(0.0, lazy_update_interval)
+            repo.record_broadcast(
+                PerfBroadcast(replica=name, ts=ts, tq=tq, tb=tb)
+            )
+        repo.record_reply(name, tg=rng.uniform(0.0005, 0.002), now=rng.uniform(0, 10))
+    repo.record_staleness(
+        PerfBroadcast(
+            replica="p1",
+            ts=0.1,
+            tq=0.01,
+            tb=None,
+            staleness=StalenessInfo(n_u=5, t_u=10.0, n_l=2, t_l=0.7),
+        ),
+        now=10.0,
+    )
+    return repo, primaries, secondaries
+
+
+def measure_selection_overhead(
+    num_replicas: int,
+    window_size: int,
+    repetitions: int = 200,
+    seed: int = 0,
+    deadline: float = 0.150,
+    staleness_threshold: int = 2,
+    min_probability: float = 0.9,
+    lazy_update_interval: float = 2.0,
+    strategy: Optional[SelectionStrategy] = None,
+) -> SelectionOverheadResult:
+    """Time one client-side prediction + selection pass (Figure 3)."""
+    if num_replicas < 1:
+        raise ValueError("need at least one replica")
+    repo, primaries, secondaries = _synthetic_repository(
+        num_replicas, window_size, seed, num_primaries=4,
+        lazy_update_interval=lazy_update_interval,
+    )
+    predictor = ResponseTimePredictor(repo, lazy_update_interval)
+    qos = QoSSpec(staleness_threshold, deadline, min_probability)
+    strategy = strategy or StateBasedSelection()
+    now = 11.0
+
+    dist_time = 0.0
+    select_time = 0.0
+    for rep in range(repetitions):
+        t0 = time.perf_counter()
+        candidates = []
+        for name in primaries:
+            cdf = predictor.immediate_cdf(name, qos.deadline)
+            candidates.append(
+                ReplicaView(name, True, cdf, cdf, repo.ert(name, now + rep))
+            )
+        for name in secondaries:
+            immediate, delayed = predictor.response_cdfs(name, qos.deadline)
+            candidates.append(
+                ReplicaView(
+                    name, False, immediate, delayed, repo.ert(name, now + rep)
+                )
+            )
+        stale_factor = predictor.staleness_factor(qos.staleness_threshold, now + rep)
+        t1 = time.perf_counter()
+        strategy.select(candidates, qos, stale_factor)
+        t2 = time.perf_counter()
+        dist_time += t1 - t0
+        select_time += t2 - t1
+
+    total = dist_time + select_time
+    return SelectionOverheadResult(
+        num_replicas=num_replicas,
+        window_size=window_size,
+        total_us=1e6 * total / repetitions,
+        distribution_us=1e6 * dist_time / repetitions,
+        selection_us=1e6 * select_time / repetitions,
+        repetitions=repetitions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: adaptivity of the probabilistic model
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure4Cell:
+    """One (deadline, P_c, LUI) cell of Figure 4, from one full run."""
+
+    deadline: float
+    min_probability: float
+    lazy_update_interval: float
+    avg_replicas_selected: float
+    timing_failure_probability: float
+    ci_low: float
+    ci_high: float
+    reads: int
+    timing_failures: int
+    deferred_fraction: float
+    mean_response_time: float
+
+    def meets_qos(self) -> bool:
+        """Did the observed failure probability stay within 1 − P_c?"""
+        return self.timing_failure_probability <= 1.0 - self.min_probability + 1e-9
+
+
+def run_figure4_cell(
+    deadline: float,
+    min_probability: float,
+    lazy_update_interval: float,
+    total_requests: int = 1000,
+    seed: int = 0,
+    staleness_threshold: int = 2,
+    strategy2: Optional[SelectionStrategy] = None,
+    warmup_requests: int = 0,
+    request_delay: float = 1.0,
+) -> Figure4Cell:
+    """Run the §6 testbed once and summarize client 2's reads."""
+    scenario = build_paper_scenario(
+        deadline=deadline,
+        min_probability=min_probability,
+        lazy_update_interval=lazy_update_interval,
+        staleness_threshold=staleness_threshold,
+        total_requests=total_requests,
+        request_delay=request_delay,
+        seed=seed,
+        strategy2=strategy2,
+        warmup_requests=warmup_requests,
+    )
+    scenario.run()
+    client2 = scenario.client2
+    reads = len(client2.read_outcomes)
+    failures = client2.timing_failure_count()
+    if reads > 0:
+        ci_low, ci_high = binomial_confidence_interval(failures, reads, 0.95)
+    else:
+        ci_low = ci_high = 0.0
+    return Figure4Cell(
+        deadline=deadline,
+        min_probability=min_probability,
+        lazy_update_interval=lazy_update_interval,
+        avg_replicas_selected=client2.average_replicas_selected(),
+        timing_failure_probability=client2.timing_failure_probability(),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        reads=reads,
+        timing_failures=failures,
+        deferred_fraction=client2.deferred_fraction(),
+        mean_response_time=client2.mean_response_time(),
+    )

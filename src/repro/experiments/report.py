@@ -1,0 +1,71 @@
+"""Plain-text table/series formatting and JSON persistence for results."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned text table (the benches print these)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """One figure series as ``name: (x, y) ...`` for eyeballing shapes."""
+    pairs = " ".join(f"({x:g}, {y:.4g})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/tuples/dict keys for JSON."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                field.name: _jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def save_results(path: str | Path, payload: Any, meta: dict | None = None) -> Path:
+    """Persist experiment results (dataclasses welcome) as JSON.
+
+    The file carries the payload under ``results`` and optional run
+    metadata (seed, parameters, versions) under ``meta`` so regenerated
+    figures are traceable.
+    """
+    path = Path(path)
+    document = {"meta": meta or {}, "results": _jsonable(payload)}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a document written by :func:`save_results`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,205 @@
+"""GroupEndpoint: the base class for protocol participants.
+
+A :class:`GroupEndpoint` is a network endpoint that
+
+* maintains local copies of the views of every group it belongs to or
+  watches, updated by :class:`~repro.groups.membership.ViewChangeMsg`;
+* sends periodic heartbeats to the membership service so crashes are
+  detected and evicted;
+* offers reliable FIFO group messaging (``gmcast`` / ``gsend``) built on
+  :mod:`repro.groups.multicast`;
+* dispatches inbound traffic to overridable hooks:
+  :meth:`on_group_message` (reliable FIFO payloads),
+  :meth:`on_view_change`, and :meth:`on_message` (plain unicasts).
+
+The middleware's gateway handlers (:mod:`repro.core`) all inherit from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.groups.membership import (
+    HeartbeatMsg,
+    JoinMsg,
+    LeaveMsg,
+    MembershipService,
+    View,
+    ViewChangeMsg,
+)
+from repro.groups.multicast import (
+    FifoReceiver,
+    FifoSender,
+    GroupAckMsg,
+    GroupDataMsg,
+)
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.net.node import Host
+
+
+class GroupEndpoint(Endpoint):
+    """A network endpoint that participates in membership-managed groups."""
+
+    def __init__(
+        self,
+        name: str,
+        membership: str = MembershipService.DEFAULT_NAME,
+        heartbeat_interval: float = 0.25,
+        rto: float = 0.05,
+    ) -> None:
+        super().__init__(name)
+        self.membership_name = membership
+        self.heartbeat_interval = heartbeat_interval
+        self._rto = rto
+        self.views: dict[str, View] = {}
+        self._joined: set[str] = set()
+        self._sender: Optional[FifoSender] = None
+        self._receiver: Optional[FifoReceiver] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attached(self, network: Network, host: Optional[Host]) -> None:
+        super().attached(network, host)
+        self._sender = FifoSender(
+            self.sim, self.name, self._raw_send, rto=self._rto
+        )
+        self._receiver = FifoReceiver(self._fifo_deliver, self._fifo_ack)
+        self.sim.schedule(self.heartbeat_interval, self._heartbeat)
+
+    def _raw_send(self, recipient: str, payload: Any, size_bytes: int) -> None:
+        self.send(recipient, payload, size_bytes)
+
+    def _fifo_ack(self, origin: str, ack: GroupAckMsg) -> None:
+        self.send(origin, ack, size_bytes=64)
+
+    @property
+    def up(self) -> bool:
+        """False while this endpoint is crashed (timers should no-op)."""
+        return self.network is not None and self.network.is_up(self.name)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(self, group: str) -> None:
+        """Join a group (asynchronously, via the membership service)."""
+        self._joined.add(group)
+        self.send(self.membership_name, JoinMsg(group, self.name), size_bytes=64)
+
+    def assume_membership(self, group: str) -> None:
+        """Mark this endpoint as a member without a join round-trip.
+
+        Used by topology builders that register members directly with the
+        membership service before the simulation starts; it arms the
+        heartbeat path so crash detection works from t=0.
+        """
+        self._joined.add(group)
+
+    def leave(self, group: str) -> None:
+        self._joined.discard(group)
+        self.send(self.membership_name, LeaveMsg(group, self.name), size_bytes=64)
+
+    def adopt_view(self, view: View) -> None:
+        """Install a view locally (initial wiring or ViewChangeMsg)."""
+        previous = self.views.get(view.group)
+        if previous is not None and previous.view_id >= view.view_id:
+            return
+        self.views[view.group] = view
+        if self._sender is not None and previous is not None:
+            for member in previous.members:
+                if member not in view:
+                    self._sender.forget_recipient(view.group, member)
+            for member in view.members:
+                if member not in previous and member != self.name:
+                    # A newly (re)joined member: open a fresh channel
+                    # epoch so it does not wait on sequence numbers from
+                    # before its join/crash.
+                    self._sender.reset_channel(view.group, member)
+        self.on_view_change(view, previous)
+
+    def view_of(self, group: str) -> View:
+        view = self.views.get(group)
+        if view is None:
+            view = View(group, 0, ())
+            self.views[group] = view
+        return view
+
+    def is_member(self, group: str) -> bool:
+        return self.name in self.view_of(group)
+
+    def _heartbeat(self) -> None:
+        if self.network is None:
+            return
+        if self.up and self._joined:
+            self.send(
+                self.membership_name,
+                HeartbeatMsg(self.name, tuple(sorted(self._joined))),
+                size_bytes=64,
+            )
+        self.sim.schedule(self.heartbeat_interval, self._heartbeat)
+
+    # ------------------------------------------------------------------
+    # Reliable FIFO group messaging
+    # ------------------------------------------------------------------
+    def gmcast(self, group: str, payload: Any, size_bytes: int = 256) -> int:
+        """Reliable FIFO multicast to the current view of ``group``.
+
+        Returns the number of recipients (self excluded).
+        """
+        if self._sender is None:
+            raise RuntimeError(f"{self.name} not attached")
+        members = [m for m in self.view_of(group).members if m != self.name]
+        self._sender.send_to_all(group, members, payload, size_bytes)
+        return len(members)
+
+    def gsend(
+        self, group: str, member: str, payload: Any, size_bytes: int = 256
+    ) -> None:
+        """Reliable FIFO unicast to one member over the group channel."""
+        if self._sender is None:
+            raise RuntimeError(f"{self.name} not attached")
+        self._sender.send(group, member, payload, size_bytes)
+
+    @property
+    def fifo_sender(self) -> FifoSender:
+        if self._sender is None:
+            raise RuntimeError(f"{self.name} not attached")
+        return self._sender
+
+    @property
+    def fifo_receiver(self) -> FifoReceiver:
+        if self._receiver is None:
+            raise RuntimeError(f"{self.name} not attached")
+        return self._receiver
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, ViewChangeMsg):
+            self.adopt_view(payload.view)
+        elif isinstance(payload, GroupDataMsg):
+            assert self._receiver is not None
+            self._receiver.on_data(payload)
+        elif isinstance(payload, GroupAckMsg):
+            assert self._sender is not None
+            self._sender.on_ack(payload, message.sender)
+        else:
+            self.on_message(message)
+
+    def _fifo_deliver(self, group: str, sender: str, payload: Any) -> None:
+        self.on_group_message(group, sender, payload)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def on_group_message(self, group: str, sender: str, payload: Any) -> None:
+        """Reliable FIFO payload from a fellow member.  Override."""
+
+    def on_view_change(self, view: View, previous: Optional[View]) -> None:
+        """A new view was installed.  Override for failover logic."""
+
+    def on_message(self, message: Message) -> None:
+        """A non-group unicast arrived.  Override."""

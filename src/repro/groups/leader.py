@@ -1,0 +1,32 @@
+"""Deterministic rank-based leader election.
+
+Ensemble "elects one of the members of the group as the leader"; rank order
+(join order, preserved across views) makes this deterministic: the leader
+is always the lowest-ranked live member.  Because every member learns the
+same view from the membership service, all members agree on the leader
+without extra messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.groups.membership import View
+
+
+def leader_of(view: View) -> Optional[str]:
+    """The leader of a view (rank-0 member), or None for an empty view."""
+    return view.leader
+
+
+def is_leader(view: View, member: str) -> bool:
+    """True iff ``member`` leads ``view``."""
+    return view.leader == member
+
+
+def successor_leader(view: View, failed: str) -> Optional[str]:
+    """The member that leads once ``failed`` is evicted from ``view``."""
+    for member in view.members:
+        if member != failed:
+            return member
+    return None

@@ -1,0 +1,238 @@
+"""Group membership: views, joins/leaves, heartbeat-based crash eviction.
+
+Members join named groups through a :class:`MembershipService` endpoint
+(the stand-in for the Ensemble stack).  The service installs a new
+:class:`View` — an immutable, rank-ordered member list with a monotonically
+increasing view id — whenever membership changes, and multicasts it to all
+members of the group (plus any observers).
+
+Crash detection: members periodically send heartbeats (scheduled by
+:class:`~repro.groups.group.GroupEndpoint`); the service sweeps for members
+whose last heartbeat is older than ``suspect_timeout`` and evicts them.
+Rank order (= join order) is preserved across views, which makes leader
+election deterministic (:mod:`repro.groups.leader`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network
+from repro.sim.tracing import NULL_TRACE, Trace
+
+
+@dataclass(frozen=True)
+class View:
+    """An installed membership view: ordered member names + view id."""
+
+    group: str
+    view_id: int
+    members: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.view_id < 0:
+            raise ValueError(f"negative view id {self.view_id!r}")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members in view: {self.members!r}")
+
+    @property
+    def leader(self) -> Optional[str]:
+        """The rank-0 member, or None for an empty view."""
+        return self.members[0] if self.members else None
+
+    def rank_of(self, member: str) -> int:
+        """0-based rank; raises ValueError if not a member."""
+        return self.members.index(member)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+# ---------------------------------------------------------------------------
+# Wire payloads
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinMsg:
+    group: str
+    member: str
+
+
+@dataclass(frozen=True)
+class LeaveMsg:
+    group: str
+    member: str
+
+
+@dataclass(frozen=True)
+class HeartbeatMsg:
+    member: str
+    groups: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ViewChangeMsg:
+    view: View
+
+
+@dataclass
+class MembershipConfig:
+    """Tuning knobs for the failure detector."""
+
+    heartbeat_interval: float = 0.25
+    suspect_timeout: float = 1.0
+    sweep_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.suspect_timeout <= self.heartbeat_interval:
+            raise ValueError("suspect_timeout must exceed heartbeat_interval")
+        if self.sweep_interval <= 0:
+            raise ValueError("sweep_interval must be positive")
+
+
+class MembershipService(Endpoint):
+    """Central membership coordinator (the Ensemble-stack stand-in).
+
+    It is an ordinary network endpoint: joins, leaves, and heartbeats reach
+    it as messages, and views are installed by multicasting
+    :class:`ViewChangeMsg` to members.  It can itself be crashed by the
+    fault injector to study membership-service outages.
+    """
+
+    DEFAULT_NAME = "membership"
+
+    def __init__(
+        self,
+        name: str = DEFAULT_NAME,
+        config: Optional[MembershipConfig] = None,
+        trace: Trace = NULL_TRACE,
+    ) -> None:
+        super().__init__(name)
+        self.config = config or MembershipConfig()
+        self.trace = trace
+        self._views: dict[str, View] = {}
+        self._last_heartbeat: dict[str, float] = {}
+        self._observers: list[Callable[[View], None]] = []
+        self._watchers: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attached(self, network: Network, host) -> None:
+        super().attached(network, host)
+        self._schedule_sweep()
+
+    def _schedule_sweep(self) -> None:
+        self.sim.schedule(self.config.sweep_interval, self._sweep)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def view_of(self, group: str) -> View:
+        """Current view of ``group`` (empty view if never joined)."""
+        view = self._views.get(group)
+        if view is None:
+            view = View(group, 0, ())
+            self._views[group] = view
+        return view
+
+    def groups(self) -> list[str]:
+        return sorted(self._views)
+
+    def observe(self, callback: Callable[[View], None]) -> None:
+        """Invoke ``callback`` on every installed view (for experiments)."""
+        self._observers.append(callback)
+
+    def watch(self, group: str, endpoint: str) -> None:
+        """Deliver future view changes of ``group`` to a non-member.
+
+        Clients watch the replica groups they select from; primaries watch
+        the secondary group they lazily update, and vice versa.
+        """
+        self._watchers.setdefault(group, set()).add(endpoint)
+
+    # ------------------------------------------------------------------
+    # Local API (used for initial wiring before the simulation starts)
+    # ------------------------------------------------------------------
+    def register(self, group: str, member: str) -> View:
+        """Synchronously add a member (initial topology construction)."""
+        return self._admit(group, member)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, JoinMsg):
+            self._admit(payload.group, payload.member)
+        elif isinstance(payload, LeaveMsg):
+            self._evict(payload.group, payload.member, reason="leave")
+        elif isinstance(payload, HeartbeatMsg):
+            self._last_heartbeat[payload.member] = self.now
+        # Unknown payloads are ignored: the service is deaf to app traffic.
+
+    def _admit(self, group: str, member: str) -> View:
+        view = self.view_of(group)
+        if member in view:
+            return view
+        new_view = View(group, view.view_id + 1, view.members + (member,))
+        self._install(new_view)
+        # A fresh member gets heartbeat credit so it is not evicted before
+        # its first heartbeat fires.
+        now = self.now if self.network is not None else 0.0
+        self._last_heartbeat.setdefault(member, now)
+        return new_view
+
+    def _evict(self, group: str, member: str, reason: str) -> None:
+        view = self.view_of(group)
+        if member not in view:
+            return
+        members = tuple(m for m in view.members if m != member)
+        new_view = View(group, view.view_id + 1, members)
+        self.trace.emit(
+            self.now if self.network else 0.0,
+            "membership.evict",
+            member,
+            group=group,
+            reason=reason,
+        )
+        self._install(new_view)
+
+    def _install(self, view: View) -> None:
+        self._views[view.group] = view
+        for observer in self._observers:
+            observer(view)
+        if self.network is None:
+            return
+        self.trace.emit(
+            self.now,
+            "membership.view",
+            view.group,
+            view_id=view.view_id,
+            members=list(view.members),
+        )
+        recipients = set(view.members) | self._watchers.get(view.group, set())
+        self.multicast(sorted(recipients), ViewChangeMsg(view))
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        if self.network is not None and self.network.is_up(self.name):
+            deadline = self.now - self.config.suspect_timeout
+            suspects = [
+                member
+                for member, seen in self._last_heartbeat.items()
+                if seen < deadline
+            ]
+            for member in suspects:
+                del self._last_heartbeat[member]
+                for group in list(self._views):
+                    self._evict(group, member, reason="suspected")
+        self._schedule_sweep()

@@ -1,0 +1,223 @@
+"""Reliable per-pair FIFO messaging inside groups.
+
+Guarantees (matching what the paper assumes from Maestro-Ensemble):
+
+* **Reliable** — every message is acknowledged; unacknowledged messages are
+  retransmitted with backoff until acked or the retry budget is exhausted
+  (the membership layer will have evicted a dead receiver well before
+  that).
+* **FIFO** — between each (sender, receiver) pair within a group, messages
+  are delivered in send order; out-of-order arrivals are buffered,
+  duplicates suppressed (and re-acked, so lost acks recover).
+
+Sequence numbers are per ``(group, sender, receiver)`` pair, so a member
+that joins late starts a fresh channel instead of waiting for messages that
+predate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Event, Simulator
+
+
+@dataclass(frozen=True)
+class GroupDataMsg:
+    """Application payload carried over a group FIFO channel.
+
+    ``epoch`` versions the per-pair channel: when a member leaves and
+    later rejoins a view, senders open a fresh epoch (sequence numbers
+    restart at 1) so the rejoined receiver is not left waiting for
+    messages that were dropped while it was down.
+    """
+
+    group: str
+    origin: str
+    seq: int
+    payload: Any
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class GroupAckMsg:
+    """Acknowledgement for one :class:`GroupDataMsg`."""
+
+    group: str
+    origin: str
+    seq: int
+
+
+@dataclass
+class _Outstanding:
+    recipient: str
+    message: GroupDataMsg
+    size_bytes: int
+    retries: int = 0
+    timer: Optional[Event] = None
+
+
+class FifoSender:
+    """Sender half: per-recipient sequencing, acks, retransmission."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: str,
+        send_raw: Callable[[str, Any, int], Any],
+        rto: float = 0.05,
+        max_retries: int = 20,
+        backoff: float = 1.5,
+    ) -> None:
+        if rto <= 0:
+            raise ValueError(f"rto must be positive, got {rto!r}")
+        if max_retries < 0:
+            raise ValueError(f"negative max_retries {max_retries!r}")
+        self.sim = sim
+        self.owner = owner
+        self._send_raw = send_raw
+        self.rto = rto
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._next_seq: dict[tuple[str, str], int] = {}
+        self._epochs: dict[tuple[str, str], int] = {}
+        self._outstanding: dict[tuple[str, str, int], _Outstanding] = {}
+        self.retransmissions = 0
+        self.abandoned = 0
+
+    def send(
+        self, group: str, recipient: str, payload: Any, size_bytes: int = 256
+    ) -> GroupDataMsg:
+        """Reliably send ``payload`` to one group member."""
+        key = (group, recipient)
+        seq = self._next_seq.get(key, 0) + 1
+        self._next_seq[key] = seq
+        message = GroupDataMsg(
+            group, self.owner, seq, payload, self._epochs.get(key, 0)
+        )
+        entry = _Outstanding(recipient, message, size_bytes)
+        self._outstanding[(group, recipient, seq)] = entry
+        self._transmit(entry)
+        return message
+
+    def send_to_all(
+        self,
+        group: str,
+        recipients: list[str],
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> list[GroupDataMsg]:
+        """Reliable FIFO multicast: one channel message per recipient."""
+        return [
+            self.send(group, recipient, payload, size_bytes)
+            for recipient in recipients
+            if recipient != self.owner
+        ]
+
+    def on_ack(self, ack: GroupAckMsg, from_member: str) -> None:
+        entry = self._outstanding.pop((ack.group, from_member, ack.seq), None)
+        if entry is not None and entry.timer is not None:
+            entry.timer.cancel()
+
+    def reset_channel(self, group: str, recipient: str) -> None:
+        """Open a fresh channel epoch to a (re)joined member.
+
+        Drops outstanding traffic and restarts sequence numbers at 1, so
+        the receiver's fresh-epoch state lines up.
+        """
+        self.forget_recipient(group, recipient)
+        key = (group, recipient)
+        self._epochs[key] = self._epochs.get(key, 0) + 1
+        self._next_seq[key] = 0
+
+    def forget_recipient(self, group: str, recipient: str) -> None:
+        """Drop outstanding traffic to an evicted member."""
+        stale = [
+            key
+            for key in self._outstanding
+            if key[0] == group and key[1] == recipient
+        ]
+        for key in stale:
+            entry = self._outstanding.pop(key)
+            if entry.timer is not None:
+                entry.timer.cancel()
+
+    @property
+    def unacked(self) -> int:
+        return len(self._outstanding)
+
+    def _transmit(self, entry: _Outstanding) -> None:
+        self._send_raw(entry.recipient, entry.message, entry.size_bytes)
+        delay = self.rto * (self.backoff**entry.retries)
+        entry.timer = self.sim.schedule(delay, self._retransmit, entry)
+
+    def _retransmit(self, entry: _Outstanding) -> None:
+        key = (entry.message.group, entry.recipient, entry.message.seq)
+        if key not in self._outstanding:
+            return
+        if entry.retries >= self.max_retries:
+            del self._outstanding[key]
+            self.abandoned += 1
+            # Giving up leaves a hole in the pair's sequence space that
+            # would stall the receiver's FIFO forever; open a fresh epoch
+            # so traffic resumes cleanly once the recipient is reachable.
+            self.reset_channel(entry.message.group, entry.recipient)
+            return
+        entry.retries += 1
+        self.retransmissions += 1
+        self._transmit(entry)
+
+
+class FifoReceiver:
+    """Receiver half: dedupe, per-sender reordering, in-order delivery."""
+
+    def __init__(
+        self,
+        deliver: Callable[[str, str, Any], None],
+        ack: Callable[[str, GroupAckMsg], None],
+    ) -> None:
+        self._deliver = deliver
+        self._ack = ack
+        self._epoch: dict[tuple[str, str], int] = {}
+        self._expected: dict[tuple[str, str], int] = {}
+        self._buffer: dict[tuple[str, str], dict[int, Any]] = {}
+        self.duplicates = 0
+        self.reordered = 0
+        self.stale_epoch_drops = 0
+
+    def on_data(self, data: GroupDataMsg) -> None:
+        # Always ack, including duplicates: the original ack may have been
+        # lost, and re-acking is what stops the sender's retransmissions.
+        self._ack(data.origin, GroupAckMsg(data.group, data.origin, data.seq))
+        key = (data.group, data.origin)
+        epoch = self._epoch.get(key)
+        if epoch is None or data.epoch > epoch:
+            # First contact, or the sender opened a fresh channel epoch
+            # (we rejoined after a crash): start over from seq 1.
+            self._epoch[key] = data.epoch
+            self._expected[key] = 1
+            self._buffer[key] = {}
+        elif data.epoch < epoch:
+            self.stale_epoch_drops += 1
+            return
+        expected = self._expected.get(key, 1)
+        if data.seq < expected:
+            self.duplicates += 1
+            return
+        buffer = self._buffer.setdefault(key, {})
+        if data.seq in buffer:
+            self.duplicates += 1
+            return
+        buffer[data.seq] = data.payload
+        if data.seq != expected:
+            self.reordered += 1
+        while expected in buffer:
+            payload = buffer.pop(expected)
+            expected += 1
+            self._expected[key] = expected
+            self._deliver(data.group, data.origin, payload)
+
+    def pending_for(self, group: str, sender: str) -> int:
+        """Buffered-but-undeliverable message count (tests/diagnostics)."""
+        return len(self._buffer.get((group, sender), {}))

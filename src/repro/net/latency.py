@@ -1,0 +1,86 @@
+"""Link latency models.
+
+A latency model turns ``(message, rng)`` into a one-way delay.  The base
+model combines a propagation-delay distribution with a per-byte
+transmission term, which is enough to model both the paper's LAN and a
+slower WAN for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.message import Message
+from repro.sim.rng import Constant, Distribution, Normal, Uniform
+
+
+class LatencyModel:
+    """One-way delay = propagation sample + size / bandwidth."""
+
+    def __init__(
+        self,
+        propagation: Distribution,
+        bandwidth_bytes_per_s: float = 0.0,
+    ) -> None:
+        if bandwidth_bytes_per_s < 0:
+            raise ValueError(f"negative bandwidth {bandwidth_bytes_per_s!r}")
+        self.propagation = propagation
+        self.bandwidth_bytes_per_s = float(bandwidth_bytes_per_s)
+
+    def delay(self, message: Message, rng: random.Random) -> float:
+        base = self.propagation.sample(rng)
+        if self.bandwidth_bytes_per_s > 0:
+            base += message.size_bytes / self.bandwidth_bytes_per_s
+        return max(0.0, base)
+
+    def mean_delay(self, size_bytes: int = 256) -> float:
+        base = self.propagation.mean()
+        if self.bandwidth_bytes_per_s > 0:
+            base += size_bytes / self.bandwidth_bytes_per_s
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyModel({self.propagation!r}, "
+            f"bw={self.bandwidth_bytes_per_s})"
+        )
+
+
+class LanLatency(LatencyModel):
+    """A 100 Mbps-LAN-like link: sub-millisecond jittered delay.
+
+    Default: ~0.3 ms mean propagation with mild jitter and 100 Mbps
+    serialization, matching the paper's testbed scale where gateway-to-
+    gateway delay is small and stable relative to service time (§5.2.1
+    exploits this by keeping only the latest gateway-delay value).
+    """
+
+    def __init__(
+        self,
+        mean_s: float = 0.0003,
+        jitter_s: float = 0.0001,
+        bandwidth_bytes_per_s: float = 100e6 / 8,
+    ) -> None:
+        super().__init__(
+            Normal(mean_s, jitter_s, floor=mean_s * 0.1),
+            bandwidth_bytes_per_s,
+        )
+
+
+class WanLatency(LatencyModel):
+    """A wide-area-like link with tens of milliseconds of spread."""
+
+    def __init__(
+        self,
+        low_s: float = 0.02,
+        high_s: float = 0.08,
+        bandwidth_bytes_per_s: float = 10e6 / 8,
+    ) -> None:
+        super().__init__(Uniform(low_s, high_s), bandwidth_bytes_per_s)
+
+
+class FixedLatency(LatencyModel):
+    """Deterministic delay — useful for protocol unit tests."""
+
+    def __init__(self, delay_s: float) -> None:
+        super().__init__(Constant(delay_s), 0.0)

@@ -1,0 +1,262 @@
+"""The network fabric: endpoints, unicast/multicast, loss, partitions.
+
+The fabric delivers messages between named :class:`Endpoint` objects with a
+sampled one-way latency.  It implements the failure semantics the upper
+layers need:
+
+* **crashed endpoints** neither send nor receive (a crash while a message
+  is in flight loses the message — delivery is re-checked at arrival time);
+* **partitions** silently drop messages across the cut;
+* an optional uniform **drop probability** models lossy links (the group
+  layer adds reliability on top, as Ensemble does).
+
+Per-pair latency overrides allow heterogeneous topologies (slow hosts/links,
+as the paper's 300 MHz–1 GHz testbed had).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.node import Host
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import NULL_TRACE, Trace
+
+
+class NetworkError(RuntimeError):
+    """Raised for fabric misuse (unknown endpoint, duplicate attach, ...)."""
+
+
+class Endpoint:
+    """A named participant attached to a :class:`Network`.
+
+    Subclasses override :meth:`deliver`.  ``send``/``multicast`` are
+    convenience wrappers that go through the fabric.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("endpoint name must be non-empty")
+        self.name = name
+        self.network: Optional[Network] = None
+        self.host: Optional[Host] = None
+
+    # -- wiring --------------------------------------------------------
+    def attached(self, network: "Network", host: Optional[Host]) -> None:
+        """Called by the fabric on attach; override for setup hooks."""
+        self.network = network
+        self.host = host
+
+    @property
+    def sim(self) -> Simulator:
+        if self.network is None:
+            raise NetworkError(f"endpoint {self.name!r} is not attached")
+        return self.network.sim
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- messaging -----------------------------------------------------
+    def send(self, recipient: str, payload: Any, size_bytes: int = 256) -> Message:
+        if self.network is None:
+            raise NetworkError(f"endpoint {self.name!r} is not attached")
+        return self.network.send(self.name, recipient, payload, size_bytes)
+
+    def multicast(
+        self, recipients: Iterable[str], payload: Any, size_bytes: int = 256
+    ) -> list[Message]:
+        if self.network is None:
+            raise NetworkError(f"endpoint {self.name!r} is not attached")
+        return self.network.multicast(self.name, recipients, payload, size_bytes)
+
+    def deliver(self, message: Message) -> None:
+        """Handle an arriving message.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Network:
+    """Message fabric over a simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        default_latency: LatencyModel,
+        trace: Trace = NULL_TRACE,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop probability {drop_probability!r} outside [0, 1)")
+        self.sim = sim
+        self.rng = rng
+        self.default_latency = default_latency
+        self.trace = trace
+        self.drop_probability = drop_probability
+        self._endpoints: dict[str, Endpoint] = {}
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], LatencyModel] = {}
+        self._crashed: set[str] = set()
+        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, endpoint: Endpoint, host: Optional[Host] = None) -> None:
+        if endpoint.name in self._endpoints:
+            raise NetworkError(f"endpoint {endpoint.name!r} already attached")
+        self._endpoints[endpoint.name] = endpoint
+        if host is not None:
+            self._hosts[endpoint.name] = host
+        endpoint.attached(self, host)
+
+    def detach(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+        self._hosts.pop(name, None)
+        self._crashed.discard(name)
+
+    def endpoint(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {name!r}") from None
+
+    def host_of(self, name: str) -> Optional[Host]:
+        return self._hosts.get(name)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def set_link(self, sender: str, recipient: str, latency: LatencyModel) -> None:
+        """Override latency for the directed pair ``sender -> recipient``."""
+        self._links[(sender, recipient)] = latency
+
+    def set_symmetric_link(self, a: str, b: str, latency: LatencyModel) -> None:
+        self.set_link(a, b, latency)
+        self.set_link(b, a, latency)
+
+    def latency_for(self, sender: str, recipient: str) -> LatencyModel:
+        return self._links.get((sender, recipient), self.default_latency)
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+    def crash(self, name: str) -> None:
+        """Stop ``name`` from sending or receiving until :meth:`recover`."""
+        if name not in self._endpoints:
+            raise NetworkError(f"unknown endpoint {name!r}")
+        self._crashed.add(name)
+        self.trace.emit(self.sim.now, "net.crash", name)
+
+    def recover(self, name: str) -> None:
+        self._crashed.discard(name)
+        self.trace.emit(self.sim.now, "net.recover", name)
+
+    def is_up(self, name: str) -> bool:
+        return name in self._endpoints and name not in self._crashed
+
+    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Block all traffic between the two endpoint sets."""
+        cut = (frozenset(side_a), frozenset(side_b))
+        self._partitions.append(cut)
+        self.trace.emit(
+            self.sim.now,
+            "net.partition",
+            "network",
+            side_a=sorted(cut[0]),
+            side_b=sorted(cut[1]),
+        )
+
+    def heal_partitions(self) -> None:
+        self._partitions.clear()
+        self.trace.emit(self.sim.now, "net.heal", "network")
+
+    def _cut(self, sender: str, recipient: str) -> bool:
+        for side_a, side_b in self._partitions:
+            if (sender in side_a and recipient in side_b) or (
+                sender in side_b and recipient in side_a
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(
+        self, sender: str, recipient: str, payload: Any, size_bytes: int = 256
+    ) -> Message:
+        if sender not in self._endpoints:
+            raise NetworkError(f"unknown sender {sender!r}")
+        message = Message(sender, recipient, payload, self.sim.now, size_bytes)
+        self.messages_sent += 1
+        if sender in self._crashed:
+            self._drop(message, "sender-crashed")
+            return message
+        if recipient not in self._endpoints:
+            self._drop(message, "unknown-recipient")
+            return message
+        if self._cut(sender, recipient):
+            self._drop(message, "partitioned")
+            return message
+        if self.drop_probability > 0.0:
+            if self.rng.stream("net.loss").random() < self.drop_probability:
+                self._drop(message, "random-loss")
+                return message
+        link_rng = self.rng.stream(f"net.link.{sender}->{recipient}")
+        delay = self.latency_for(sender, recipient).delay(message, link_rng)
+        self.sim.schedule(delay, self._arrive, message)
+        return message
+
+    def multicast(
+        self,
+        sender: str,
+        recipients: Iterable[str],
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> list[Message]:
+        """Independent unicasts to each recipient (excluding the sender)."""
+        return [
+            self.send(sender, recipient, payload, size_bytes)
+            for recipient in recipients
+            if recipient != sender
+        ]
+
+    def _arrive(self, message: Message) -> None:
+        recipient = self._endpoints.get(message.recipient)
+        if recipient is None or message.recipient in self._crashed:
+            self._drop(message, "recipient-down")
+            return
+        if self._cut(message.sender, message.recipient):
+            self._drop(message, "partitioned-in-flight")
+            return
+        self.messages_delivered += 1
+        self.trace.emit(
+            self.sim.now,
+            "net.deliver",
+            message.recipient,
+            sender=message.sender,
+            kind=message.kind,
+            msg_id=message.msg_id,
+        )
+        recipient.deliver(message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.messages_dropped += 1
+        self.trace.emit(
+            self.sim.now,
+            "net.drop",
+            message.recipient,
+            sender=message.sender,
+            kind=message.kind,
+            reason=reason,
+            msg_id=message.msg_id,
+        )

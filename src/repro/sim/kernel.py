@@ -1,0 +1,187 @@
+"""Event-driven simulation kernel.
+
+A :class:`Simulator` owns a virtual clock and a binary heap of scheduled
+events.  Everything else in the reproduction — network message delivery,
+group-communication timeouts, lazy-update timers, client request loops —
+is expressed as events on one simulator instance, which makes whole
+experiments deterministic and fast (no real sleeping, no threads).
+
+The kernel is deliberately small: events are ``(time, priority, seq)``-ordered
+callbacks.  Richer abstractions (generator processes, signals) live in
+:mod:`repro.sim.process` and are built on top of this scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and may be cancelled before they fire.
+    Ordering is by ``(time, priority, seq)``: ties in time are broken first
+    by an explicit priority (lower fires earlier) and then by scheduling
+    order, which keeps runs reproducible.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.run(until=10.0)
+
+    The clock unit is seconds (floats).  ``run`` processes events in
+    timestamp order until the heap empties, a time bound is reached, or
+    :meth:`stop` is called from inside a callback.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far (for tracing/tests)."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self._now}, requested={time})"
+            )
+        event = Event(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in order until ``until`` (or until idle).
+
+        Returns the virtual time at which the run stopped.  When ``until``
+        is given, the clock is advanced to exactly ``until`` even if the
+        last event fired earlier, so successive bounded runs compose.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._processed += 1
+                event.callback(*event.args)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the active callback returns."""
+        self._stopped = True

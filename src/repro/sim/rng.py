@@ -1,0 +1,222 @@
+"""Reproducible random streams and delay distributions.
+
+Experiments need independent, seedable randomness per concern (service
+times of replica 3, link jitter client-1→replica-7, update arrivals, ...).
+:class:`RngRegistry` derives one :class:`random.Random` stream per name from
+a master seed, so adding a new consumer never perturbs existing streams and
+every run is exactly reproducible from ``(seed, names used)``.
+
+:class:`Distribution` subclasses model the delay distributions used across
+the testbed.  The paper's background load (§6) is a normally distributed
+service delay; network substrates also use uniform/exponential/shifted
+distributions.  All distributions clamp to a non-negative floor because they
+model durations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional, Sequence
+
+
+class RngRegistry:
+    """Derives independent named ``random.Random`` streams from one seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. one per repetition of a sweep)."""
+        digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode()).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))
+
+
+class Distribution:
+    """A non-negative duration distribution sampled with an explicit stream."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean where available (used by tests and capacity checks)."""
+        raise NotImplementedError
+
+
+class Constant(Distribution):
+    """Always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative constant delay {value!r}")
+        self.value = float(value)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid uniform bounds [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Normal(Distribution):
+    """Normal(mu, sigma) truncated below at ``floor`` (durations only).
+
+    §6 of the paper simulates background load with a normally distributed
+    delay of mean 100 ms; this is the distribution that models it.
+    """
+
+    def __init__(self, mu: float, sigma: float, floor: float = 0.0) -> None:
+        if sigma < 0:
+            raise ValueError(f"negative sigma {sigma!r}")
+        if floor < 0:
+            raise ValueError(f"negative floor {floor!r}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.floor = float(floor)
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.gauss(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        # Approximate: exact only when truncation mass is negligible.
+        return max(self.floor, self.mu)
+
+    def __repr__(self) -> str:
+        return f"Normal({self.mu}, {self.sigma}, floor={self.floor})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean, optionally shifted by ``offset``."""
+
+    def __init__(self, mean: float, offset: float = 0.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"non-positive mean {mean!r}")
+        if offset < 0:
+            raise ValueError(f"negative offset {offset!r}")
+        self._mean = float(mean)
+        self.offset = float(offset)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.offset + rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self.offset + self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean}, offset={self.offset})"
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterized by the underlying normal's mu/sigma."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError(f"negative sigma {sigma!r}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        import math
+
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:
+        return f"LogNormal({self.mu}, {self.sigma})"
+
+
+class Empirical(Distribution):
+    """Samples uniformly from recorded values (for trace-driven runs)."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        vals = [float(v) for v in values]
+        if not vals:
+            raise ValueError("empirical distribution needs at least one value")
+        if any(v < 0 for v in vals):
+            raise ValueError("empirical durations must be non-negative")
+        self.values = vals
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.choice(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self.values)})"
+
+
+class Mixture(Distribution):
+    """Weighted mixture of component distributions.
+
+    Models bimodal behaviour such as a host that is usually fast but
+    occasionally suffers a transient overload (§1 motivates exactly this).
+    """
+
+    def __init__(
+        self,
+        components: Sequence[Distribution],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        comps = list(components)
+        if not comps:
+            raise ValueError("mixture needs at least one component")
+        if weights is None:
+            weights = [1.0] * len(comps)
+        weights = [float(w) for w in weights]
+        if len(weights) != len(comps):
+            raise ValueError("weights/components length mismatch")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        self.components = comps
+        total = sum(weights)
+        self.weights = [w / total for w in weights]
+
+    def sample(self, rng: random.Random) -> float:
+        pick = rng.random()
+        acc = 0.0
+        for comp, weight in zip(self.components, self.weights):
+            acc += weight
+            if pick <= acc:
+                return comp.sample(rng)
+        return self.components[-1].sample(rng)
+
+    def mean(self) -> float:
+        return sum(w * c.mean() for w, c in zip(self.weights, self.components))
+
+    def __repr__(self) -> str:
+        return f"Mixture({self.components!r}, weights={self.weights!r})"

@@ -1,0 +1,81 @@
+"""Structured event tracing.
+
+Experiments and tests observe protocol behaviour through a :class:`Trace`:
+components emit :class:`TraceRecord` entries (category, actor, detail dict)
+and analyses filter them afterwards.  Tracing is optional everywhere — a
+``Trace`` with ``enabled=False`` costs one attribute check per emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    actor: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.time:.6f} {self.category} {self.actor} {self.detail}>"
+
+
+class Trace:
+    """An append-only log of :class:`TraceRecord` with simple queries."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, category: str, actor: str, **detail: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time, category, actor, detail)
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record (live monitoring)."""
+        self._subscribers.append(callback)
+
+    def filter(
+        self, category: Optional[str] = None, actor: Optional[str] = None
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching the given category and/or actor."""
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if actor is not None and record.actor != actor:
+                continue
+            yield record
+
+    def count(self, category: Optional[str] = None, actor: Optional[str] = None) -> int:
+        return sum(1 for _ in self.filter(category, actor))
+
+    def last(
+        self, category: Optional[str] = None, actor: Optional[str] = None
+    ) -> Optional[TraceRecord]:
+        match = None
+        for record in self.filter(category, actor):
+            match = record
+        return match
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+
+NULL_TRACE = Trace(enabled=False)

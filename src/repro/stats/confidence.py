@@ -1,0 +1,66 @@
+"""Binomial proportion confidence intervals.
+
+§6: "All confidence intervals for the results presented are at a 95 % level,
+and have been computed under the assumption that the number of timing
+failures follows a binomial distribution."  The experiment harness reports
+the same intervals.  We provide both the textbook normal approximation the
+paper's citation (Johnson/Kotz/Kemp) describes and the better-behaved
+Wilson score interval for small failure counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Two-sided z quantiles for common confidence levels.
+_Z_TABLE = {
+    0.80: 1.2815515655446004,
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.98: 2.3263478740408408,
+    0.99: 2.5758293035489004,
+}
+
+
+def _z_for(level: float) -> float:
+    try:
+        return _Z_TABLE[round(level, 2)]
+    except KeyError:
+        raise ValueError(
+            f"unsupported confidence level {level!r}; "
+            f"supported: {sorted(_Z_TABLE)}"
+        ) from None
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, level: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation (Wald) interval for a binomial proportion.
+
+    Returns ``(low, high)`` clamped to ``[0, 1]``.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials!r}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes!r} outside [0, {trials}]")
+    z = _z_for(level)
+    p = successes / trials
+    half = z * math.sqrt(p * (1.0 - p) / trials)
+    return (max(0.0, p - half), min(1.0, p + half))
+
+
+def wilson_interval(
+    successes: int, trials: int, level: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval; preferable when successes is near 0 or n."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials!r}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes!r} outside [0, {trials}]")
+    z = _z_for(level)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / trials + z2 / (4 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))

@@ -1,0 +1,177 @@
+"""Discrete probability mass functions over quantized durations.
+
+§5.2 of the paper computes a replica's response-time distribution as the
+*discrete convolution* of the pmfs of its service time ``S``, queuing delay
+``W``, (for deferred reads) lazy-update wait ``U``, and the most recent
+gateway delay ``G``.  The pmfs themselves come from the relative frequency
+of values recorded in sliding windows.
+
+:class:`DiscretePmf` represents a pmf on a uniform grid: values are
+``(offset + index) * quantum`` seconds.  The grid makes convolution a plain
+``numpy.convolve`` (offsets add, mass arrays convolve), which keeps the
+online prediction cheap — exactly the property the paper's Figure 3
+overhead measurement depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+DEFAULT_QUANTUM = 1e-3  # 1 ms bins
+
+
+class DiscretePmf:
+    """A pmf on the uniform grid ``value = (offset + i) * quantum``.
+
+    Instances are immutable in practice: all operations return new pmfs.
+    """
+
+    __slots__ = ("quantum", "offset", "mass")
+
+    def __init__(self, quantum: float, offset: int, mass: np.ndarray) -> None:
+        if quantum <= 0:
+            raise ValueError(f"non-positive quantum {quantum!r}")
+        if offset < 0:
+            raise ValueError(f"negative offset {offset!r} (durations only)")
+        mass = np.asarray(mass, dtype=float)
+        if mass.ndim != 1 or mass.size == 0:
+            raise ValueError("mass must be a non-empty 1-D array")
+        if np.any(mass < -1e-12):
+            raise ValueError("negative probability mass")
+        total = float(mass.sum())
+        if total <= 0:
+            raise ValueError("zero total probability mass")
+        self.quantum = float(quantum)
+        self.offset = int(offset)
+        self.mass = np.clip(mass, 0.0, None) / total
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(
+        cls, samples: Iterable[float], quantum: float = DEFAULT_QUANTUM
+    ) -> "DiscretePmf":
+        """Build a pmf from raw duration samples by quantizing to the grid.
+
+        Each sample contributes equal mass (relative frequency, as §5.2
+        prescribes).  Negative samples are clamped to zero.
+        """
+        values = [max(0.0, float(s)) for s in samples]
+        if not values:
+            raise ValueError("cannot build a pmf from zero samples")
+        bins = np.rint(np.asarray(values) / quantum).astype(int)
+        low = int(bins.min())
+        high = int(bins.max())
+        mass = np.zeros(high - low + 1, dtype=float)
+        for b in bins:
+            mass[b - low] += 1.0
+        return cls(quantum, low, mass)
+
+    @classmethod
+    def degenerate(
+        cls, value: float, quantum: float = DEFAULT_QUANTUM
+    ) -> "DiscretePmf":
+        """A point mass at ``value`` (used for the latest gateway delay)."""
+        bin_index = max(0, int(round(max(0.0, value) / quantum)))
+        return cls(quantum, bin_index, np.array([1.0]))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def support_min(self) -> float:
+        return self.offset * self.quantum
+
+    @property
+    def support_max(self) -> float:
+        return (self.offset + self.mass.size - 1) * self.quantum
+
+    def values(self) -> np.ndarray:
+        """Grid values (seconds) aligned with :attr:`mass`."""
+        return (self.offset + np.arange(self.mass.size)) * self.quantum
+
+    def mean(self) -> float:
+        return float(np.dot(self.values(), self.mass))
+
+    def variance(self) -> float:
+        values = self.values()
+        mu = float(np.dot(values, self.mass))
+        return float(np.dot((values - mu) ** 2, self.mass))
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x): total mass of grid values <= x (float-error tolerant)."""
+        if x < self.support_min:
+            return 0.0
+        bin_index = int(np.floor(x / self.quantum + 1e-9))
+        upto = bin_index - self.offset + 1
+        if upto <= 0:
+            return 0.0
+        if upto >= self.mass.size:
+            return 1.0
+        return float(self.mass[:upto].sum())
+
+    def quantile(self, q: float) -> float:
+        """Smallest grid value v with P(X <= v) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level {q!r} outside [0, 1]")
+        cumulative = np.cumsum(self.mass)
+        index = int(np.searchsorted(cumulative, q - 1e-12))
+        index = min(index, self.mass.size - 1)
+        return (self.offset + index) * self.quantum
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def convolve(self, other: "DiscretePmf") -> "DiscretePmf":
+        """Distribution of the sum of two independent grid variables."""
+        if abs(other.quantum - self.quantum) > 1e-15:
+            raise ValueError(
+                f"quantum mismatch: {self.quantum} vs {other.quantum}"
+            )
+        mass = np.convolve(self.mass, other.mass)
+        return DiscretePmf(self.quantum, self.offset + other.offset, mass)
+
+    def shift(self, delta: float) -> "DiscretePmf":
+        """Add a constant (non-negative after quantization) to the variable."""
+        bins = int(round(delta / self.quantum))
+        new_offset = self.offset + bins
+        if new_offset < 0:
+            raise ValueError(f"shift {delta!r} would move support negative")
+        return DiscretePmf(self.quantum, new_offset, self.mass.copy())
+
+    def mix(self, other: "DiscretePmf", weight: float) -> "DiscretePmf":
+        """Mixture ``weight * self + (1 - weight) * other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"mixture weight {weight!r} outside [0, 1]")
+        if abs(other.quantum - self.quantum) > 1e-15:
+            raise ValueError("quantum mismatch in mixture")
+        low = min(self.offset, other.offset)
+        high = max(self.offset + self.mass.size, other.offset + other.mass.size)
+        mass = np.zeros(high - low, dtype=float)
+        mass[self.offset - low : self.offset - low + self.mass.size] += (
+            weight * self.mass
+        )
+        mass[other.offset - low : other.offset - low + other.mass.size] += (
+            1.0 - weight
+        ) * other.mass
+        return DiscretePmf(self.quantum, low, mass)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiscretePmf(quantum={self.quantum}, bins={self.mass.size}, "
+            f"support=[{self.support_min:.4f}, {self.support_max:.4f}], "
+            f"mean={self.mean():.4f})"
+        )
+
+
+def convolve_all(pmfs: Sequence[DiscretePmf]) -> DiscretePmf:
+    """Convolve a sequence of pmfs (sum of independent variables)."""
+    if not pmfs:
+        raise ValueError("convolve_all needs at least one pmf")
+    result = pmfs[0]
+    for pmf in pmfs[1:]:
+        result = result.convolve(pmf)
+    return result

@@ -1,0 +1,64 @@
+"""Poisson distribution helpers.
+
+Equation 4 of the paper models the number of update requests received by
+the primary group since the last lazy update as Poisson with rate
+``lambda_u``:
+
+    P(A_s(t) <= a) = P(N_u(t_l) <= a) = sum_{n=0}^{a} (lam*t_l)^n e^{-lam*t_l} / n!
+
+``poisson_cdf`` computes the sum with an incremental term recurrence so it
+stays numerically stable for the small thresholds the QoS model uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def poisson_pmf(n: int, mean: float) -> float:
+    """P(N = n) for N ~ Poisson(mean)."""
+    if n < 0:
+        raise ValueError(f"negative count {n!r}")
+    if mean < 0:
+        raise ValueError(f"negative mean {mean!r}")
+    if mean == 0:
+        return 1.0 if n == 0 else 0.0
+    log_p = -mean + n * math.log(mean) - math.lgamma(n + 1)
+    return math.exp(log_p)
+
+
+def poisson_cdf(a: int, mean: float) -> float:
+    """P(N <= a) for N ~ Poisson(mean); Equation 4 with mean = lambda_u * t_l."""
+    if mean < 0:
+        raise ValueError(f"negative mean {mean!r}")
+    if a < 0:
+        return 0.0
+    if mean == 0:
+        return 1.0
+    # Recurrence: term_{n} = term_{n-1} * mean / n, term_0 = e^{-mean}.
+    term = math.exp(-mean)
+    total = term
+    for n in range(1, a + 1):
+        term *= mean / n
+        total += term
+    return min(1.0, total)
+
+
+def poisson_quantile(q: float, mean: float) -> int:
+    """Smallest a with P(N <= a) >= q (used by adaptive-LUI extensions)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile level {q!r} outside [0, 1]")
+    if mean < 0:
+        raise ValueError(f"negative mean {mean!r}")
+    if mean == 0 or q == 0.0:
+        return 0
+    a = 0
+    total = math.exp(-mean)
+    term = total
+    # The loop bound is generous; Poisson tail decays super-exponentially.
+    limit = int(mean + 20 * math.sqrt(mean) + 20)
+    while total < q and a < limit:
+        a += 1
+        term *= mean / a
+        total += term
+    return a

@@ -1,0 +1,104 @@
+"""Bounded most-recent-sample windows.
+
+§5.2: "The client handlers record the most recent ``l`` measurements of
+these parameters in separate sliding windows in an information repository.
+The size of the sliding window, ``l``, is chosen so as to include a
+reasonable number of recently measured values, while eliminating obsolete
+measurements."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+
+class SlidingWindow:
+    """Keeps the most recent ``size`` float samples in arrival order."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size!r}")
+        self.size = int(size)
+        self._samples: deque[float] = deque(maxlen=self.size)
+        self.total_recorded = 0
+
+    def record(self, value: float) -> None:
+        """Append one sample, evicting the oldest once full."""
+        self._samples.append(float(value))
+        self.total_recorded += 1
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.record(value)
+
+    def samples(self) -> list[float]:
+        """Snapshot of the window contents, oldest first."""
+        return list(self._samples)
+
+    @property
+    def latest(self) -> Optional[float]:
+        return self._samples[-1] if self._samples else None
+
+    @property
+    def full(self) -> bool:
+        return len(self._samples) == self.size
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of an empty window")
+        return sum(self._samples) / len(self._samples)
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlidingWindow(size={self.size}, n={len(self._samples)})"
+
+
+class PairWindow:
+    """A sliding window of ``(count, duration)`` pairs.
+
+    Used for the update-arrival-rate estimate of §5.4.1: the client records
+    a history of ``<n_u, t_u>`` pairs and computes
+    ``lambda_u = sum(n_u) / sum(t_u)`` over the window.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size!r}")
+        self.size = int(size)
+        self._pairs: deque[tuple[int, float]] = deque(maxlen=self.size)
+
+    def record(self, count: int, duration: float) -> None:
+        if count < 0:
+            raise ValueError(f"negative count {count!r}")
+        if duration < 0:
+            raise ValueError(f"negative duration {duration!r}")
+        self._pairs.append((int(count), float(duration)))
+
+    def rate(self, default: float = 0.0) -> float:
+        """``sum(counts) / sum(durations)``, or ``default`` if no time yet."""
+        total_count = sum(c for c, _ in self._pairs)
+        total_time = sum(t for _, t in self._pairs)
+        if total_time <= 0:
+            return default
+        return total_count / total_time
+
+    def pairs(self) -> list[tuple[int, float]]:
+        return list(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PairWindow(size={self.size}, n={len(self._pairs)})"

@@ -1,0 +1,25 @@
+"""Client workload generation.
+
+* :mod:`repro.workloads.clients` — closed-loop clients reproducing the §6
+  request pattern: alternating write/read requests with a *request delay*
+  ("the duration that elapses before a client issues its next request
+  after completion of its previous request");
+* :mod:`repro.workloads.generators` — open-loop arrival processes
+  (Poisson/periodic updaters) for experiments that pin the update arrival
+  rate ``lambda_u``;
+* :mod:`repro.workloads.scenarios` — canned experimental setups, including
+  the paper's exact §6 testbed.
+"""
+
+from repro.workloads.clients import AlternatingClient, ClientWorkloadConfig
+from repro.workloads.generators import OpenLoopUpdater, PeriodicReader
+from repro.workloads.scenarios import PaperScenario, build_paper_scenario
+
+__all__ = [
+    "AlternatingClient",
+    "ClientWorkloadConfig",
+    "OpenLoopUpdater",
+    "PeriodicReader",
+    "PaperScenario",
+    "build_paper_scenario",
+]

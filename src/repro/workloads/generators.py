@@ -1,0 +1,167 @@
+"""Open-loop workload generators.
+
+Unlike the closed-loop clients, these issue requests on an arrival process
+independent of completions.  :class:`OpenLoopUpdater` pins the update
+arrival rate ``lambda_u`` — the quantity Eq. 4's Poisson staleness model
+assumes — so tests can check the staleness-factor estimate against a known
+ground truth.  :class:`PeriodicReader` issues reads on a fixed period for
+steady sampling of the selection behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.client import ClientHandler
+from repro.core.qos import QoSSpec
+from repro.core.requests import ReadOutcome, UpdateOutcome
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process, Timeout
+from repro.sim.rng import RngRegistry
+
+
+class OpenLoopUpdater:
+    """Issues update requests as a Poisson (or periodic) arrival process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        handler: ClientHandler,
+        rng: RngRegistry,
+        rate: float,
+        duration: float,
+        method: str = "increment",
+        args: Callable[[int], tuple] = lambda i: (),
+        poisson: bool = True,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        self.sim = sim
+        self.handler = handler
+        self.rate = rate
+        self.duration = duration
+        self.method = method
+        self.args = args
+        self.poisson = poisson
+        self.issued = 0
+        self.outcomes: list[UpdateOutcome] = []
+        self._rng = rng.stream(f"updater.{handler.name}")
+        self.process = Process(sim, self._run(), name=f"updater-{handler.name}")
+
+    def _gap(self) -> float:
+        if self.poisson:
+            return self._rng.expovariate(self.rate)
+        return 1.0 / self.rate
+
+    def _run(self):
+        deadline = self.sim.now + self.duration
+        while True:
+            gap = self._gap()
+            if self.sim.now + gap > deadline:
+                break
+            yield Timeout(gap)
+            self.handler.invoke(
+                self.method, self.args(self.issued), callback=self.outcomes.append
+            )
+            self.issued += 1
+        return self.issued
+
+
+class BurstyUpdater:
+    """Markov-modulated update arrivals: busy bursts separated by silence.
+
+    Used to stress the Poisson staleness model (Eq. 4 assumes a constant
+    rate) — the *mean* rate equals ``burst_rate * duty_cycle``, but counts
+    over a lazy interval are heavily over-dispersed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        handler: ClientHandler,
+        rng: RngRegistry,
+        burst_rate: float,
+        burst_length: float,
+        idle_length: float,
+        duration: float,
+        method: str = "increment",
+        args: Callable[[int], tuple] = lambda i: (),
+    ) -> None:
+        if burst_rate <= 0:
+            raise ValueError(f"burst rate must be positive, got {burst_rate!r}")
+        if burst_length <= 0 or idle_length < 0:
+            raise ValueError("invalid burst/idle lengths")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        self.sim = sim
+        self.handler = handler
+        self.burst_rate = burst_rate
+        self.burst_length = burst_length
+        self.idle_length = idle_length
+        self.duration = duration
+        self.method = method
+        self.args = args
+        self.issued = 0
+        self._rng = rng.stream(f"bursty.{handler.name}")
+        self.process = Process(sim, self._run(), name=f"bursty-{handler.name}")
+
+    @property
+    def mean_rate(self) -> float:
+        cycle = self.burst_length + self.idle_length
+        return self.burst_rate * self.burst_length / cycle
+
+    def _run(self):
+        deadline = self.sim.now + self.duration
+        while self.sim.now < deadline:
+            burst_end = min(deadline, self.sim.now + self.burst_length)
+            while True:
+                gap = self._rng.expovariate(self.burst_rate)
+                if self.sim.now + gap > burst_end:
+                    break
+                yield Timeout(gap)
+                self.handler.invoke(self.method, self.args(self.issued))
+                self.issued += 1
+            remaining = burst_end - self.sim.now
+            if remaining > 0:
+                yield Timeout(remaining)
+            if self.idle_length > 0 and self.sim.now < deadline:
+                yield Timeout(min(self.idle_length, deadline - self.sim.now))
+        return self.issued
+
+
+class PeriodicReader:
+    """Issues reads on a fixed period, recording every outcome."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        handler: ClientHandler,
+        qos: QoSSpec,
+        period: float,
+        count: int,
+        method: str = "get",
+        args: Callable[[int], tuple] = lambda i: (),
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        if count < 0:
+            raise ValueError(f"negative read count {count!r}")
+        self.sim = sim
+        self.handler = handler
+        self.qos = qos
+        self.period = period
+        self.count = count
+        self.method = method
+        self.args = args
+        self.outcomes: list[ReadOutcome] = []
+        self.process = Process(sim, self._run(), name=f"reader-{handler.name}")
+
+    def _run(self):
+        for i in range(self.count):
+            yield Timeout(self.period)
+            self.handler.invoke(
+                self.method, self.args(i), self.qos, callback=self.outcomes.append
+            )
+        return self.count

@@ -1,0 +1,124 @@
+"""Canned experimental setups.
+
+:func:`build_paper_scenario` reproduces the §6 testbed exactly:
+
+* 10 server replicas in addition to the sequencer — 4 primary, 6 secondary;
+* background load simulated by a normally distributed service delay with a
+  mean of 100 ms (spread 50 ms);
+* two clients on different machines, each issuing ``total_requests``
+  alternating write/read requests with a 1000 ms request delay;
+* client 1 fixed at ``<a=4, d=200 ms, P_c=0.1>``; client 2's deadline,
+  probability, and the lazy update interval are the swept parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.qos import QoSSpec
+from repro.core.selection import SelectionStrategy
+from repro.core.service import ServiceConfig, Testbed, build_testbed
+from repro.sim.rng import Distribution, Normal
+from repro.workloads.clients import AlternatingClient, ClientWorkloadConfig
+
+
+@dataclass
+class PaperScenario:
+    """A built §6 testbed: run ``sim`` until both workloads finish."""
+
+    testbed: Testbed
+    client1: AlternatingClient
+    client2: AlternatingClient
+
+    @property
+    def sim(self):
+        return self.testbed.sim
+
+    @property
+    def service(self):
+        return self.testbed.service
+
+    def run(self, slack: float = 120.0) -> None:
+        """Run until both clients finish (with a generous time bound)."""
+        cfg1 = self.client1.config
+        cfg2 = self.client2.config
+        worst = max(
+            cfg1.total_requests * (cfg1.request_delay + 5.0),
+            cfg2.total_requests * (cfg2.request_delay + 5.0),
+        )
+        bound = self.sim.now + worst + slack
+        while not (self.client1.finished and self.client2.finished):
+            if self.sim.now >= bound:
+                raise RuntimeError("scenario did not finish within its time bound")
+            if not self.sim.step():
+                raise RuntimeError("simulation went idle before workloads finished")
+
+
+def build_paper_scenario(
+    deadline: float = 0.200,
+    min_probability: float = 0.9,
+    lazy_update_interval: float = 2.0,
+    staleness_threshold: int = 2,
+    total_requests: int = 1000,
+    request_delay: float = 1.0,
+    seed: int = 0,
+    client1_qos: Optional[QoSSpec] = None,
+    num_primaries: int = 4,
+    num_secondaries: int = 6,
+    service_time: Optional[Distribution] = None,
+    window_size: int = 20,
+    strategy2: Optional[SelectionStrategy] = None,
+    warmup_requests: int = 0,
+) -> PaperScenario:
+    """The §6 testbed with client 2's QoS as the swept variable.
+
+    ``strategy2`` swaps client 2's selection policy (baseline ablations);
+    ``warmup_requests`` excludes leading requests from client statistics.
+    """
+    config = ServiceConfig(
+        name="svc",
+        num_primaries=num_primaries,
+        num_secondaries=num_secondaries,
+        lazy_update_interval=lazy_update_interval,
+        window_size=window_size,
+        read_service_time=service_time or Normal(0.100, 0.050, floor=0.002),
+    )
+    testbed = build_testbed(config, seed=seed)
+    service = testbed.service
+
+    qos1 = client1_qos or QoSSpec(
+        staleness_threshold=4, deadline=0.200, min_probability=0.1
+    )
+    qos2 = QoSSpec(
+        staleness_threshold=staleness_threshold,
+        deadline=deadline,
+        min_probability=min_probability,
+    )
+
+    handler1 = service.create_client("client-1", read_only_methods={"get"})
+    handler2 = service.create_client(
+        "client-2", read_only_methods={"get"}, strategy=strategy2
+    )
+
+    workload1 = AlternatingClient(
+        testbed.sim,
+        handler1,
+        ClientWorkloadConfig(
+            total_requests=total_requests,
+            request_delay=request_delay,
+            qos=qos1,
+            warmup_requests=warmup_requests,
+        ),
+    )
+    workload2 = AlternatingClient(
+        testbed.sim,
+        handler2,
+        ClientWorkloadConfig(
+            total_requests=total_requests,
+            request_delay=request_delay,
+            qos=qos2,
+            warmup_requests=warmup_requests,
+        ),
+    )
+    return PaperScenario(testbed, workload1, workload2)

@@ -1,0 +1,112 @@
+"""Unit tests for the baseline selection strategies."""
+
+import pytest
+
+from repro.baselines.strategies import (
+    AllReplicasSelection,
+    FixedSizeSelection,
+    PrimaryOnlySelection,
+    RandomSingleSelection,
+    RoundRobinSelection,
+)
+from repro.core.qos import QoSSpec
+from repro.core.selection import ReplicaView
+
+QOS = QoSSpec(staleness_threshold=2, deadline=0.1, min_probability=0.9)
+
+
+def _candidates(n=5, primaries=2):
+    return [
+        ReplicaView(
+            name=f"r{i}",
+            is_primary=i < primaries,
+            immediate_cdf=0.5 + 0.05 * i,
+            delayed_cdf=0.1,
+            ert=float(i),
+        )
+        for i in range(n)
+    ]
+
+
+def test_all_replicas_selects_everything():
+    result = AllReplicasSelection().select(_candidates(), QOS, 1.0)
+    assert len(result) == 5
+    assert set(result.replicas) == {f"r{i}" for i in range(5)}
+
+
+def test_all_replicas_empty():
+    result = AllReplicasSelection().select([], QOS, 1.0)
+    assert result.replicas == () and not result.satisfied
+
+
+def test_random_single_picks_one_deterministically_per_seed():
+    a = RandomSingleSelection(seed=1).select(_candidates(), QOS, 1.0)
+    b = RandomSingleSelection(seed=1).select(_candidates(), QOS, 1.0)
+    assert len(a) == 1
+    assert a.replicas == b.replicas
+
+
+def test_random_single_varies_across_calls():
+    strategy = RandomSingleSelection(seed=2)
+    picks = {strategy.select(_candidates(), QOS, 1.0).replicas[0] for _ in range(30)}
+    assert len(picks) > 1
+
+
+def test_round_robin_cycles_in_name_order():
+    strategy = RoundRobinSelection()
+    picks = [strategy.select(_candidates(3), QOS, 1.0).replicas[0] for _ in range(6)]
+    assert picks == ["r0", "r1", "r2", "r0", "r1", "r2"]
+
+
+def test_fixed_k_selects_exactly_k():
+    strategy = FixedSizeSelection(3)
+    result = strategy.select(_candidates(5), QOS, 1.0)
+    assert len(result) == 3
+
+
+def test_fixed_k_rotates_start():
+    strategy = FixedSizeSelection(2)
+    first = strategy.select(_candidates(4), QOS, 1.0).replicas
+    second = strategy.select(_candidates(4), QOS, 1.0).replicas
+    assert first != second
+
+
+def test_fixed_k_caps_at_candidate_count():
+    result = FixedSizeSelection(10).select(_candidates(3), QOS, 1.0)
+    assert len(result) == 3
+
+
+def test_fixed_k_validation():
+    with pytest.raises(ValueError):
+        FixedSizeSelection(0)
+
+
+def test_primary_only_filters_primaries():
+    result = PrimaryOnlySelection().select(_candidates(5, primaries=2), QOS, 1.0)
+    assert set(result.replicas) == {"r0", "r1"}
+
+
+def test_primary_only_empty_when_no_primaries():
+    result = PrimaryOnlySelection().select(_candidates(3, primaries=0), QOS, 1.0)
+    assert result.replicas == ()
+
+
+def test_predictions_reported_with_model():
+    """Baselines report the P_K(d) the paper's model assigns their choice."""
+    result = AllReplicasSelection().select(_candidates(), QOS, stale_factor=1.0)
+    expected = 1.0
+    for c in _candidates():
+        expected_term = 1.0 - c.immediate_cdf
+        expected *= expected_term
+    assert result.predicted_probability == pytest.approx(1.0 - expected)
+
+
+def test_strategy_names_distinct():
+    names = {
+        AllReplicasSelection.name,
+        RandomSingleSelection.name,
+        RoundRobinSelection.name,
+        FixedSizeSelection.name,
+        PrimaryOnlySelection.name,
+    }
+    assert len(names) == 5

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Trace
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace(enabled=True)
+
+
+@pytest.fixture
+def network(sim: Simulator, rng: RngRegistry, trace: Trace) -> Network:
+    """A deterministic network: every link exactly 1 ms one-way."""
+    return Network(sim, rng, FixedLatency(0.001), trace=trace)
+
+
+class Recorder:
+    """Collects callback invocations for assertions."""
+
+    def __init__(self) -> None:
+        self.calls: list = []
+
+    def __call__(self, *args) -> None:
+        self.calls.append(args[0] if len(args) == 1 else args)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    @property
+    def last(self):
+        return self.calls[-1]
+
+
+@pytest.fixture
+def recorder() -> Recorder:
+    return Recorder()

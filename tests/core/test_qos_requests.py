@@ -1,0 +1,121 @@
+"""Unit tests for the QoS model and the request model."""
+
+import pytest
+
+from repro.core.qos import OrderingGuarantee, QoSSpec
+from repro.core.requests import (
+    ReadOnlyRegistry,
+    Reply,
+    Request,
+    RequestKind,
+    next_request_id,
+)
+
+
+# ---------------------------------------------------------------------------
+# QoSSpec
+# ---------------------------------------------------------------------------
+def test_section2_example_spec():
+    """'not more than 5 versions old within 2.0 s with probability 0.7'."""
+    spec = QoSSpec(staleness_threshold=5, deadline=2.0, min_probability=0.7)
+    assert spec.staleness_threshold == 5
+    assert spec.deadline == 2.0
+    assert spec.min_probability == 0.7
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(staleness_threshold=-1, deadline=1.0, min_probability=0.5),
+        dict(staleness_threshold=0, deadline=0.0, min_probability=0.5),
+        dict(staleness_threshold=0, deadline=-1.0, min_probability=0.5),
+        dict(staleness_threshold=0, deadline=float("inf"), min_probability=0.5),
+        dict(staleness_threshold=0, deadline=1.0, min_probability=1.5),
+        dict(staleness_threshold=0, deadline=1.0, min_probability=-0.1),
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        QoSSpec(**kwargs)
+
+
+def test_zero_staleness_and_extreme_probabilities_allowed():
+    QoSSpec(0, 0.1, 0.0)
+    QoSSpec(0, 0.1, 1.0)
+
+
+def test_relax_deadline():
+    spec = QoSSpec(2, 0.1, 0.9).relax_deadline(2.0)
+    assert spec.deadline == pytest.approx(0.2)
+    assert spec.staleness_threshold == 2
+    with pytest.raises(ValueError):
+        spec.relax_deadline(0.0)
+
+
+def test_describe_mentions_all_attributes():
+    text = QoSSpec(3, 0.25, 0.8).describe()
+    assert "3" in text and "250" in text and "0.80" in text
+
+
+def test_spec_is_frozen_and_hashable():
+    spec = QoSSpec(1, 0.1, 0.5)
+    assert spec in {QoSSpec(1, 0.1, 0.5)}
+
+
+def test_ordering_guarantees_enumerated():
+    assert {g.value for g in OrderingGuarantee} == {"sequential", "fifo", "causal"}
+
+
+# ---------------------------------------------------------------------------
+# ReadOnlyRegistry (§2's request model)
+# ---------------------------------------------------------------------------
+def test_undeclared_methods_are_updates():
+    registry = ReadOnlyRegistry()
+    assert registry.kind_of("anything") is RequestKind.UPDATE
+
+
+def test_declared_methods_are_reads():
+    registry = ReadOnlyRegistry({"get"})
+    assert registry.kind_of("get") is RequestKind.READ
+    assert registry.kind_of("put") is RequestKind.UPDATE
+
+
+def test_declare_after_construction():
+    registry = ReadOnlyRegistry()
+    registry.declare("peek")
+    assert registry.kind_of("peek") is RequestKind.READ
+    assert registry.read_only_methods() == {"peek"}
+
+
+def test_declare_empty_name_rejected():
+    with pytest.raises(ValueError):
+        ReadOnlyRegistry().declare("")
+
+
+# ---------------------------------------------------------------------------
+# Request / Reply
+# ---------------------------------------------------------------------------
+def test_request_ids_unique():
+    assert next_request_id() != next_request_id()
+
+
+def test_read_without_qos_rejected():
+    with pytest.raises(ValueError):
+        Request(1, "c", "get", (), RequestKind.READ, None, 0.0)
+
+
+def test_update_has_no_staleness_threshold():
+    request = Request(1, "c", "put", ("k",), RequestKind.UPDATE, None, 0.0)
+    with pytest.raises(ValueError):
+        request.staleness_threshold
+
+
+def test_read_staleness_threshold_from_qos():
+    qos = QoSSpec(7, 1.0, 0.5)
+    request = Request(1, "c", "get", (), RequestKind.READ, qos, 0.0)
+    assert request.staleness_threshold == 7
+
+
+def test_reply_fields():
+    reply = Reply(1, "r", RequestKind.READ, "v", t1=0.12, gsn=9, deferred=True)
+    assert reply.deferred and reply.gsn == 9 and reply.t1 == 0.12

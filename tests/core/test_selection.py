@@ -1,0 +1,259 @@
+"""Unit and property tests for Algorithm 1 (state-based replica selection)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qos import QoSSpec
+from repro.core.selection import (
+    ReplicaView,
+    SelectionResult,
+    StateBasedSelection,
+    _PkAccumulator,
+    sort_candidates,
+)
+
+
+def _replica(name, cdf, ert=0.0, primary=False, delayed=None):
+    return ReplicaView(
+        name=name,
+        is_primary=primary,
+        immediate_cdf=cdf,
+        delayed_cdf=cdf if delayed is None else delayed,
+        ert=ert,
+    )
+
+
+def _qos(prob, deadline=0.1, staleness=2):
+    return QoSSpec(staleness, deadline, prob)
+
+
+# ---------------------------------------------------------------------------
+# P_K(d) accumulator (Equations 1–3)
+# ---------------------------------------------------------------------------
+def test_accumulator_primaries_only_eq2():
+    acc = _PkAccumulator(stale_factor=1.0)
+    acc.include(_replica("p1", 0.8, primary=True))
+    acc.include(_replica("p2", 0.5, primary=True))
+    # P_K = 1 - (1-0.8)(1-0.5) = 0.9
+    assert acc.probability() == pytest.approx(0.9)
+
+
+def test_accumulator_secondaries_mix_by_staleness_eq3():
+    acc = _PkAccumulator(stale_factor=0.25)
+    acc.include(_replica("s1", 0.8, delayed=0.1))
+    # secCDF = (1-0.8)*0.25 + (1-0.1)*0.75 = 0.05 + 0.675 = 0.725
+    assert acc.probability() == pytest.approx(1.0 - 0.725)
+
+
+def test_accumulator_mixed_groups_eq1():
+    acc = _PkAccumulator(stale_factor=1.0)
+    acc.include(_replica("p1", 0.5, primary=True))
+    acc.include(_replica("s1", 0.5, delayed=0.0))
+    assert acc.probability() == pytest.approx(1.0 - 0.25)
+
+
+def test_accumulator_empty_probability_zero():
+    assert _PkAccumulator(1.0).probability() == pytest.approx(0.0)
+
+
+def test_accumulator_rejects_bad_stale_factor():
+    with pytest.raises(ValueError):
+        _PkAccumulator(1.5)
+
+
+# ---------------------------------------------------------------------------
+# Sort order (line 2)
+# ---------------------------------------------------------------------------
+def test_sort_by_decreasing_ert():
+    ordered = sort_candidates(
+        [_replica("a", 0.5, ert=1.0), _replica("b", 0.5, ert=5.0)]
+    )
+    assert [r.name for r in ordered] == ["b", "a"]
+
+
+def test_ert_ties_broken_by_cdf():
+    ordered = sort_candidates(
+        [_replica("low", 0.2, ert=1.0), _replica("high", 0.9, ert=1.0)]
+    )
+    assert [r.name for r in ordered] == ["high", "low"]
+
+
+def test_infinite_ert_sorts_first():
+    ordered = sort_candidates(
+        [_replica("known", 0.99, ert=100.0), _replica("fresh", 0.5, ert=math.inf)]
+    )
+    assert ordered[0].name == "fresh"
+
+
+def test_full_tie_broken_by_name_for_determinism():
+    ordered = sort_candidates(
+        [_replica("b", 0.5, ert=1.0), _replica("a", 0.5, ert=1.0)]
+    )
+    assert [r.name for r in ordered] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 behaviour
+# ---------------------------------------------------------------------------
+def test_selects_minimum_needed_replicas():
+    """Three perfect replicas, P_c=0.9: two suffice (one excluded as the
+    simulated crash victim, the second gives P_K = 1)."""
+    strategy = StateBasedSelection()
+    candidates = [_replica(f"r{i}", 1.0, ert=10.0 - i) for i in range(3)]
+    result = strategy.select(candidates, _qos(0.9), stale_factor=1.0)
+    assert len(result) == 2
+    assert result.satisfied
+
+
+def test_failure_tolerance_excludes_best_member():
+    """With cdfs 1.0 and 0.5 the test must use the 0.5 one (the 1.0 member
+    is the excluded crash victim), so P_K = 0.5 < 0.9 and a third replica
+    is required."""
+    strategy = StateBasedSelection()
+    candidates = [
+        _replica("best", 1.0, ert=3.0),
+        _replica("mid", 0.5, ert=2.0),
+        _replica("weak", 0.5, ert=1.0),
+    ]
+    result = strategy.select(candidates, _qos(0.7), stale_factor=1.0)
+    # After including mid (0.5): P_K = 0.5 < 0.7 -> include weak too:
+    # P_K = 1 - 0.25 = 0.75 >= 0.7.
+    assert len(result) == 3
+    assert result.satisfied
+    assert result.predicted_probability == pytest.approx(0.75)
+
+
+def test_max_cdf_replica_tracking_swaps():
+    """When a later candidate has a higher cdf, the previous maximum is
+    folded into the products and the new one becomes the excluded member."""
+    strategy = StateBasedSelection()
+    candidates = [
+        _replica("first", 0.6, ert=3.0),
+        _replica("better", 0.9, ert=2.0),  # becomes maxCDF; 0.6 included
+    ]
+    result = strategy.select(candidates, _qos(0.6), stale_factor=1.0)
+    assert result.predicted_probability == pytest.approx(0.6)
+    assert result.satisfied
+    assert len(result) == 2
+
+
+def test_unsatisfiable_returns_all_replicas():
+    strategy = StateBasedSelection()
+    candidates = [_replica(f"r{i}", 0.1, ert=float(i)) for i in range(4)]
+    result = strategy.select(candidates, _qos(0.999), stale_factor=1.0)
+    assert len(result) == 4
+    assert not result.satisfied
+
+
+def test_single_candidate_returned_even_if_unsatisfied():
+    strategy = StateBasedSelection()
+    result = strategy.select([_replica("only", 1.0)], _qos(0.9), 1.0)
+    assert result.replicas == ("only",)
+    assert not result.satisfied  # the only member is the excluded victim
+
+
+def test_empty_candidates():
+    strategy = StateBasedSelection()
+    result = strategy.select([], _qos(0.9), 1.0)
+    assert result.replicas == ()
+    assert not result.satisfied
+    assert strategy.select([], _qos(0.0), 1.0).satisfied
+
+
+def test_zero_probability_satisfied_by_two():
+    strategy = StateBasedSelection()
+    candidates = [_replica(f"r{i}", 0.0, ert=float(i)) for i in range(5)]
+    result = strategy.select(candidates, _qos(0.0), stale_factor=1.0)
+    assert len(result) == 2  # seed + first include already passes >= 0
+
+
+def test_hot_spot_rotation_prefers_least_recent():
+    """The replica with the largest ert is visited (and selected) first."""
+    strategy = StateBasedSelection()
+    stale = _replica("stale-but-idle", 0.9, ert=100.0)
+    fresh = _replica("recently-used", 0.9, ert=0.1)
+    result = strategy.select([fresh, stale], _qos(0.5), 1.0)
+    assert result.replicas[0] == "stale-but-idle"
+
+
+def test_stale_factor_drives_secondary_weighting():
+    """With a low staleness factor, secondaries' delayed cdf dominates and
+    more replicas are needed."""
+    strategy = StateBasedSelection()
+
+    def candidates():
+        return [
+            _replica(f"s{i}", 0.95, ert=10.0 - i, delayed=0.0) for i in range(6)
+        ]
+
+    fresh = strategy.select(candidates(), _qos(0.9), stale_factor=1.0)
+    stale = strategy.select(candidates(), _qos(0.9), stale_factor=0.1)
+    assert len(stale) > len(fresh)
+
+
+def test_selection_result_len():
+    assert len(SelectionResult(("a", "b"), 0.5, True)) == 2
+
+
+def test_replica_view_validation():
+    with pytest.raises(ValueError):
+        _replica("x", 1.5)
+    with pytest.raises(ValueError):
+        ReplicaView("x", False, 0.5, -0.1, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+candidate_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),  # immediate cdf
+        st.floats(min_value=0.0, max_value=1.0),  # delayed cdf
+        st.floats(min_value=0.0, max_value=100.0),  # ert
+        st.booleans(),  # primary?
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(
+    raw=candidate_strategy,
+    prob=st.floats(min_value=0.0, max_value=1.0),
+    stale=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=150)
+def test_selection_invariants_property(raw, prob, stale):
+    candidates = [
+        ReplicaView(f"r{i}", primary, immed, min(immed, delayed), ert)
+        for i, (immed, delayed, ert, primary) in enumerate(raw)
+    ]
+    result = StateBasedSelection().select(
+        candidates, QoSSpec(1, 0.1, prob), stale
+    )
+    names = set(result.replicas)
+    # Selected replicas are real candidates, without duplicates.
+    assert names <= {c.name for c in candidates}
+    assert len(names) == len(result.replicas)
+    # At least one replica is always selected.
+    assert len(result.replicas) >= 1
+    # The reported probability is a probability.
+    assert -1e-9 <= result.predicted_probability <= 1.0 + 1e-9
+    # If satisfied, the prediction meets the target.
+    if result.satisfied:
+        assert result.predicted_probability >= prob - 1e-9
+
+
+@given(raw=candidate_strategy, stale=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=80)
+def test_stricter_probability_never_selects_fewer_property(raw, stale):
+    candidates = [
+        ReplicaView(f"r{i}", primary, immed, min(immed, delayed), ert)
+        for i, (immed, delayed, ert, primary) in enumerate(raw)
+    ]
+    loose = StateBasedSelection().select(candidates, QoSSpec(1, 0.1, 0.3), stale)
+    strict = StateBasedSelection().select(candidates, QoSSpec(1, 0.1, 0.95), stale)
+    assert len(strict) >= len(loose)

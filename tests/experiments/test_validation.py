@@ -1,0 +1,59 @@
+"""Tests for the model-validation experiments (reduced durations)."""
+
+import pytest
+
+from repro.core.staleness import RateMixtureStalenessModel
+from repro.experiments.validation import (
+    HotspotValidationResult,
+    run_hotspot_validation,
+    run_staleness_validation,
+)
+
+
+@pytest.mark.slow
+def test_poisson_model_calibrated_under_poisson_arrivals():
+    rows = run_staleness_validation(duration=120.0)
+    assert all(abs(row.error) < 0.12 for row in rows)
+    # Empirical freshness is monotone in the threshold.
+    empirical = [row.empirical for row in rows]
+    assert empirical == sorted(empirical)
+
+
+@pytest.mark.slow
+def test_poisson_model_overconfident_under_bursts():
+    """Above the mean rate the single-rate model predicts freshness the
+    bursts destroy (§5.1.3's assumption visibly failing)."""
+    rows = run_staleness_validation(duration=120.0, bursty=True)
+    high = [row for row in rows if row.threshold >= 4]
+    assert any(row.error > 0.05 for row in high)
+
+
+@pytest.mark.slow
+def test_rate_mixture_better_calibrated_under_bursts():
+    poisson_rows = run_staleness_validation(duration=120.0, bursty=True)
+    mixture_rows = run_staleness_validation(
+        duration=120.0, bursty=True, staleness_model=RateMixtureStalenessModel()
+    )
+    poisson_err = sum(abs(r.error) for r in poisson_rows)
+    mixture_err = sum(abs(r.error) for r in mixture_rows)
+    assert mixture_err < poisson_err
+
+
+@pytest.mark.slow
+def test_hotspot_avoidance_balances_load():
+    result = run_hotspot_validation(reads=120)
+    assert result.with_ert_imbalance < result.without_ert_imbalance
+    assert result.with_ert_imbalance < 1.5
+    # Without ert ordering some replicas starve entirely.
+    assert min(result.without_ert_reads.values()) == 0
+
+
+def test_imbalance_metric():
+    result = HotspotValidationResult(
+        with_ert_reads={"a": 10, "b": 10},
+        without_ert_reads={"a": 20, "b": 0},
+    )
+    assert result.with_ert_imbalance == pytest.approx(1.0)
+    assert result.without_ert_imbalance == pytest.approx(2.0)
+    empty = HotspotValidationResult({}, {})
+    assert empty.with_ert_imbalance == 1.0

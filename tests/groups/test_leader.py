@@ -1,0 +1,40 @@
+"""Unit tests for rank-based leader election."""
+
+from repro.groups.leader import is_leader, leader_of, successor_leader
+from repro.groups.membership import View
+
+
+def test_leader_is_first_member():
+    assert leader_of(View("g", 1, ("x", "y"))) == "x"
+
+
+def test_empty_view_no_leader():
+    assert leader_of(View("g", 0, ())) is None
+
+
+def test_is_leader():
+    view = View("g", 1, ("x", "y"))
+    assert is_leader(view, "x")
+    assert not is_leader(view, "y")
+    assert not is_leader(view, "z")
+
+
+def test_successor_skips_failed_leader():
+    view = View("g", 1, ("x", "y", "z"))
+    assert successor_leader(view, "x") == "y"
+
+
+def test_successor_of_non_leader_is_current_leader():
+    view = View("g", 1, ("x", "y", "z"))
+    assert successor_leader(view, "y") == "x"
+
+
+def test_successor_in_single_member_view():
+    assert successor_leader(View("g", 1, ("x",)), "x") is None
+
+
+def test_leader_stable_across_view_growth():
+    """Rank order (join order) keeps the leader stable as members join."""
+    v1 = View("g", 1, ("x",))
+    v2 = View("g", 2, ("x", "y"))
+    assert leader_of(v1) == leader_of(v2) == "x"

@@ -1,0 +1,76 @@
+"""Scaled-down replication of the §6 validation experiment.
+
+The full 1000-request sweep lives in the benchmark harness; here we run a
+reduced version (enough requests to get past the bootstrap phase) and
+assert the paper's two headline observations:
+
+1. the selected replica sets meet the client's QoS (observed timing-
+   failure probability within 1 − P_c);
+2. the adaptive trends — fewer replicas at looser deadlines, more timing
+   failures at longer lazy update intervals.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_figure4_cell
+
+REQUESTS = 300  # 150 reads per cell
+
+
+@pytest.mark.slow
+def test_qos_met_for_strict_client():
+    cell = run_figure4_cell(
+        deadline=0.200,
+        min_probability=0.9,
+        lazy_update_interval=2.0,
+        total_requests=REQUESTS,
+    )
+    assert cell.meets_qos(), (
+        f"observed failure probability {cell.timing_failure_probability:.3f} "
+        f"exceeds 1 - P_c"
+    )
+
+
+@pytest.mark.slow
+def test_qos_met_for_lenient_client():
+    cell = run_figure4_cell(
+        deadline=0.140,
+        min_probability=0.5,
+        lazy_update_interval=2.0,
+        total_requests=REQUESTS,
+    )
+    assert cell.meets_qos()
+
+
+@pytest.mark.slow
+def test_fewer_replicas_at_looser_deadline():
+    tight = run_figure4_cell(0.100, 0.9, 2.0, total_requests=REQUESTS)
+    loose = run_figure4_cell(0.220, 0.9, 2.0, total_requests=REQUESTS)
+    assert loose.avg_replicas_selected < tight.avg_replicas_selected
+
+
+@pytest.mark.slow
+def test_stricter_probability_needs_more_replicas():
+    strict = run_figure4_cell(0.120, 0.9, 4.0, total_requests=REQUESTS)
+    lenient = run_figure4_cell(0.120, 0.5, 4.0, total_requests=REQUESTS)
+    assert strict.avg_replicas_selected >= lenient.avg_replicas_selected
+
+
+@pytest.mark.slow
+def test_longer_lui_increases_failures_or_deferrals():
+    """§6.1's second observation: as the interval between lazy updates
+    increases, staleness (and with it deferred reads / timing failures)
+    increases."""
+    short = run_figure4_cell(0.160, 0.5, 1.0, total_requests=REQUESTS)
+    long = run_figure4_cell(0.160, 0.5, 8.0, total_requests=REQUESTS)
+    assert (
+        long.timing_failure_probability >= short.timing_failure_probability
+        or long.deferred_fraction > short.deferred_fraction
+    )
+
+
+@pytest.mark.slow
+def test_failure_probability_falls_with_deadline():
+    tight = run_figure4_cell(0.090, 0.5, 4.0, total_requests=REQUESTS)
+    loose = run_figure4_cell(0.220, 0.5, 4.0, total_requests=REQUESTS)
+    assert loose.timing_failure_probability <= tight.timing_failure_probability

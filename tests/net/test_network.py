@@ -1,0 +1,248 @@
+"""Unit tests for the network fabric."""
+
+import pytest
+
+from repro.net.latency import FixedLatency
+from repro.net.message import Message, next_message_id
+from repro.net.network import Endpoint, Network, NetworkError
+
+
+class Sink(Endpoint):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def deliver(self, message):
+        self.received.append((self.now, message))
+
+
+@pytest.fixture
+def pair(network):
+    a, b = Sink("a"), Sink("b")
+    network.attach(a)
+    network.attach(b)
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+def test_message_ids_are_unique():
+    assert next_message_id() != next_message_id()
+
+
+def test_message_kind_is_payload_type():
+    msg = Message("a", "b", {"x": 1}, 0.0)
+    assert msg.kind == "dict"
+
+
+def test_message_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Message("a", "b", None, 0.0, size_bytes=-1)
+
+
+# ---------------------------------------------------------------------------
+# Delivery
+# ---------------------------------------------------------------------------
+def test_unicast_delivers_after_latency(sim, pair):
+    a, b = pair
+    a.send("b", "hello")
+    sim.run()
+    assert len(b.received) == 1
+    arrival, message = b.received[0]
+    assert arrival == pytest.approx(0.001)
+    assert message.payload == "hello"
+    assert message.sender == "a"
+
+
+def test_multicast_excludes_sender(sim, network, pair):
+    a, b = pair
+    c = Sink("c")
+    network.attach(c)
+    a.multicast(["a", "b", "c"], "fanout")
+    sim.run()
+    assert len(a.received) == 0
+    assert len(b.received) == 1
+    assert len(c.received) == 1
+
+
+def test_per_link_latency_override(sim, network, pair):
+    a, b = pair
+    network.set_link("a", "b", FixedLatency(0.5))
+    a.send("b", "slow")
+    b.send("a", "fast")
+    sim.run()
+    assert b.received[0][0] == pytest.approx(0.5)
+    assert a.received[0][0] == pytest.approx(0.001)
+
+
+def test_symmetric_link_override(sim, network, pair):
+    a, b = pair
+    network.set_symmetric_link("a", "b", FixedLatency(0.25))
+    a.send("b", 1)
+    b.send("a", 2)
+    sim.run()
+    assert b.received[0][0] == pytest.approx(0.25)
+    assert a.received[0][0] == pytest.approx(0.25)
+
+
+def test_fifo_on_deterministic_link(sim, pair):
+    a, b = pair
+    for i in range(10):
+        a.send("b", i)
+    sim.run()
+    assert [m.payload for _, m in b.received] == list(range(10))
+
+
+def test_stats_counters(sim, network, pair):
+    a, b = pair
+    a.send("b", 1)
+    a.send("nonexistent", 2)
+    sim.run()
+    assert network.messages_sent == 2
+    assert network.messages_delivered == 1
+    assert network.messages_dropped == 1
+
+
+# ---------------------------------------------------------------------------
+# Attach/detach validation
+# ---------------------------------------------------------------------------
+def test_duplicate_attach_rejected(network, pair):
+    with pytest.raises(NetworkError):
+        network.attach(Sink("a"))
+
+
+def test_send_from_unattached_endpoint_rejected():
+    orphan = Sink("orphan")
+    with pytest.raises(NetworkError):
+        orphan.send("x", 1)
+
+
+def test_unknown_sender_rejected(network, pair):
+    with pytest.raises(NetworkError):
+        network.send("ghost", "a", 1)
+
+
+def test_send_to_unknown_recipient_is_dropped(sim, network, pair):
+    a, _ = pair
+    a.send("ghost", 1)
+    sim.run()
+    assert network.messages_dropped == 1
+
+
+def test_endpoint_lookup(network, pair):
+    a, _ = pair
+    assert network.endpoint("a") is a
+    with pytest.raises(NetworkError):
+        network.endpoint("ghost")
+    assert network.endpoints() == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Crashes
+# ---------------------------------------------------------------------------
+def test_crashed_sender_drops_messages(sim, network, pair):
+    a, b = pair
+    network.crash("a")
+    a.send("b", 1)
+    sim.run()
+    assert b.received == []
+    assert not network.is_up("a")
+
+
+def test_crashed_recipient_drops_messages(sim, network, pair):
+    a, b = pair
+    network.crash("b")
+    a.send("b", 1)
+    sim.run()
+    assert b.received == []
+
+
+def test_crash_loses_in_flight_messages(sim, network, pair):
+    a, b = pair
+    a.send("b", "in-flight")
+    # Crash strictly before the 1 ms delivery completes.
+    sim.schedule(0.0005, network.crash, "b")
+    sim.run()
+    assert b.received == []
+
+
+def test_recovery_restores_delivery(sim, network, pair):
+    a, b = pair
+    network.crash("b")
+    a.send("b", "lost")
+    sim.run()
+    network.recover("b")
+    a.send("b", "found")
+    sim.run()
+    assert [m.payload for _, m in b.received] == ["found"]
+
+
+def test_crash_unknown_endpoint_rejected(network):
+    with pytest.raises(NetworkError):
+        network.crash("ghost")
+
+
+# ---------------------------------------------------------------------------
+# Partitions
+# ---------------------------------------------------------------------------
+def test_partition_blocks_both_directions(sim, network, pair):
+    a, b = pair
+    network.partition({"a"}, {"b"})
+    a.send("b", 1)
+    b.send("a", 2)
+    sim.run()
+    assert a.received == [] and b.received == []
+
+
+def test_partition_does_not_block_same_side(sim, network, pair):
+    a, b = pair
+    c = Sink("c")
+    network.attach(c)
+    network.partition({"a", "b"}, {"c"})
+    a.send("b", 1)
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_partition_cuts_in_flight_messages(sim, network, pair):
+    a, b = pair
+    a.send("b", 1)
+    sim.schedule(0.0005, network.partition, {"a"}, {"b"})
+    sim.run()
+    assert b.received == []
+
+
+def test_heal_restores_traffic(sim, network, pair):
+    a, b = pair
+    network.partition({"a"}, {"b"})
+    network.heal_partitions()
+    a.send("b", 1)
+    sim.run()
+    assert len(b.received) == 1
+
+
+# ---------------------------------------------------------------------------
+# Random loss
+# ---------------------------------------------------------------------------
+def test_drop_probability_loses_some_messages(sim, rng, trace):
+    from repro.net.network import Network
+
+    lossy = Network(sim, rng, FixedLatency(0.001), trace=trace, drop_probability=0.5)
+    a, b = Sink("a"), Sink("b")
+    lossy.attach(a)
+    lossy.attach(b)
+    for i in range(200):
+        a.send("b", i)
+    sim.run()
+    assert 0 < len(b.received) < 200
+    # Delivered messages keep their relative order on a deterministic link.
+    payloads = [m.payload for _, m in b.received]
+    assert payloads == sorted(payloads)
+
+
+def test_invalid_drop_probability_rejected(sim, rng):
+    from repro.net.network import Network
+
+    with pytest.raises(ValueError):
+        Network(sim, rng, FixedLatency(0.001), drop_probability=1.0)

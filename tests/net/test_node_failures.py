@@ -1,0 +1,136 @@
+"""Unit tests for hosts and the failure injector."""
+
+import pytest
+
+from repro.net.failures import FailureInjector, OverloadWindow
+from repro.net.latency import FixedLatency
+from repro.net.network import Endpoint, Network
+from repro.net.node import Host
+
+
+class Sink(Endpoint):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def deliver(self, message):
+        self.received.append(message)
+
+
+# ---------------------------------------------------------------------------
+# Host
+# ---------------------------------------------------------------------------
+def test_host_scales_durations():
+    host = Host("slow", speed_factor=3.0)
+    assert host.scale(0.1) == pytest.approx(0.3)
+
+
+def test_host_rejects_bad_args():
+    with pytest.raises(ValueError):
+        Host("", 1.0)
+    with pytest.raises(ValueError):
+        Host("x", 0.0)
+    with pytest.raises(ValueError):
+        Host("x", 1.0).scale(-1.0)
+
+
+def test_overload_multiplies_base_factor():
+    host = Host("h", speed_factor=2.0)
+    host.begin_overload(3.0)
+    assert host.speed_factor == pytest.approx(6.0)
+    assert host.overloaded
+    host.end_overload()
+    assert host.speed_factor == pytest.approx(2.0)
+    assert not host.overloaded
+
+
+def test_overload_factor_below_one_rejected():
+    with pytest.raises(ValueError):
+        Host("h").begin_overload(0.5)
+
+
+# ---------------------------------------------------------------------------
+# OverloadWindow
+# ---------------------------------------------------------------------------
+def test_overload_window_validation():
+    with pytest.raises(ValueError):
+        OverloadWindow(start=2.0, end=1.0, factor=2.0)
+    with pytest.raises(ValueError):
+        OverloadWindow(start=0.0, end=1.0, factor=0.9)
+    with pytest.raises(ValueError):
+        OverloadWindow(start=-1.0, end=1.0, factor=2.0)
+
+
+# ---------------------------------------------------------------------------
+# FailureInjector
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def net(sim, rng):
+    network = Network(sim, rng, FixedLatency(0.001))
+    a, b = Sink("a"), Sink("b")
+    network.attach(a)
+    network.attach(b)
+    return network, a, b
+
+
+def test_crash_at_takes_effect_at_time(sim, net):
+    network, a, b = net
+    injector = FailureInjector(network)
+    injector.crash_at(1.0, "b")
+
+    sim.schedule(0.5, a.send, "b", "before")
+    sim.schedule(1.5, a.send, "b", "after")
+    sim.run()
+    assert [m.payload for m in b.received] == ["before"]
+
+
+def test_crash_with_recovery(sim, net):
+    network, a, b = net
+    FailureInjector(network).crash_at(1.0, "b", recover_at=2.0)
+    sim.schedule(1.5, a.send, "b", "during")
+    sim.schedule(2.5, a.send, "b", "after")
+    sim.run()
+    assert [m.payload for m in b.received] == ["after"]
+
+
+def test_on_crash_hook_runs(sim, net, recorder):
+    network, _, _ = net
+    FailureInjector(network).crash_at(1.0, "b", on_crash=lambda: recorder("crashed"))
+    sim.run()
+    assert recorder.calls == ["crashed"]
+
+
+def test_invalid_recovery_time_rejected(net):
+    network, _, _ = net
+    with pytest.raises(ValueError):
+        FailureInjector(network).crash_at(2.0, "b", recover_at=1.0)
+
+
+def test_partition_at_with_heal(sim, net):
+    network, a, b = net
+    FailureInjector(network).partition_at(1.0, ["a"], ["b"], heal_at=2.0)
+    sim.schedule(0.5, a.send, "b", "pre")
+    sim.schedule(1.5, a.send, "b", "cut")
+    sim.schedule(2.5, a.send, "b", "healed")
+    sim.run()
+    assert [m.payload for m in b.received] == ["pre", "healed"]
+
+
+def test_overload_injection_window(sim, net):
+    network, _, _ = net
+    host = Host("h")
+    injector = FailureInjector(network)
+    injector.overload(host, OverloadWindow(start=1.0, end=2.0, factor=4.0))
+    checks = []
+    sim.schedule(0.5, lambda: checks.append(host.speed_factor))
+    sim.schedule(1.5, lambda: checks.append(host.speed_factor))
+    sim.schedule(2.5, lambda: checks.append(host.speed_factor))
+    sim.run()
+    assert checks == [1.0, 4.0, 1.0]
+
+
+def test_injector_log(sim, net):
+    network, _, _ = net
+    injector = FailureInjector(network)
+    injector.crash_at(1.0, "b")
+    assert any("crash b" in line for line in injector.injected)

@@ -1,0 +1,71 @@
+"""Unit tests for logical clocks and version stamps."""
+
+import pytest
+
+from repro.sim.clock import LamportClock, Version, ZERO_VERSION
+
+
+def test_clock_starts_at_zero():
+    assert LamportClock().time == 0
+
+
+def test_custom_start():
+    assert LamportClock(5).time == 5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        LamportClock(-1)
+
+
+def test_tick_increments():
+    clock = LamportClock()
+    assert clock.tick() == 1
+    assert clock.tick() == 2
+
+
+def test_witness_adopts_max_plus_one():
+    clock = LamportClock(3)
+    assert clock.witness(10) == 11
+    assert clock.witness(2) == 12  # local already ahead
+
+
+def test_witness_rejects_negative():
+    with pytest.raises(ValueError):
+        LamportClock().witness(-1)
+
+
+def test_lamport_happens_before_property():
+    """If A sends to B, B's timestamp exceeds A's send timestamp."""
+    a, b = LamportClock(), LamportClock()
+    send_ts = a.tick()
+    recv_ts = b.witness(send_ts)
+    assert recv_ts > send_ts
+
+
+def test_versions_order_by_sequence():
+    assert Version(1) < Version(2)
+    assert Version(2, "a") < Version(2, "b")  # author is tie-break only
+
+
+def test_version_next():
+    v = Version(4, "x").next("y")
+    assert v.sequence == 5
+    assert v.author == "y"
+
+
+def test_negative_version_rejected():
+    with pytest.raises(ValueError):
+        Version(-1)
+
+
+def test_zero_version_is_least():
+    assert ZERO_VERSION <= Version(0)
+    assert ZERO_VERSION < Version(1)
+
+
+def test_versions_hashable_and_frozen():
+    v = Version(1, "a")
+    assert v in {Version(1, "a")}
+    with pytest.raises(AttributeError):
+        v.sequence = 2  # type: ignore[misc]

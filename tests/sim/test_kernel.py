@@ -1,0 +1,179 @@
+"""Unit tests for the event kernel."""
+
+import math
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_initial_clock_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order(sim, recorder):
+    sim.schedule(3.0, recorder, "c")
+    sim.schedule(1.0, recorder, "a")
+    sim.schedule(2.0, recorder, "b")
+    sim.run()
+    assert recorder.calls == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order(sim, recorder):
+    for label in "abcde":
+        sim.schedule(1.0, recorder, label)
+    sim.run()
+    assert recorder.calls == list("abcde")
+
+
+def test_priority_breaks_ties_before_seq(sim, recorder):
+    sim.schedule(1.0, recorder, "late", priority=1)
+    sim.schedule(1.0, recorder, "early", priority=0)
+    sim.run()
+    assert recorder.calls == ["early", "late"]
+
+
+def test_clock_advances_to_event_time(sim, recorder):
+    sim.schedule(2.5, lambda: recorder(sim.now))
+    sim.run()
+    assert recorder.calls == [2.5]
+
+
+def test_run_until_bound_excludes_later_events(sim, recorder):
+    sim.schedule(1.0, recorder, "in")
+    sim.schedule(5.0, recorder, "out")
+    sim.run(until=2.0)
+    assert recorder.calls == ["in"]
+    assert sim.now == 2.0
+
+
+def test_run_until_advances_clock_even_without_events(sim):
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_bounded_runs_compose(sim, recorder):
+    sim.schedule(1.0, recorder, "a")
+    sim.schedule(3.0, recorder, "b")
+    sim.run(until=2.0)
+    sim.run(until=4.0)
+    assert recorder.calls == ["a", "b"]
+    assert sim.now == 4.0
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected(sim, recorder):
+    sim.schedule(5.0, recorder, "x")
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, recorder, "y")
+
+
+def test_nan_time_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule_at(math.nan, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim, recorder):
+    event = sim.schedule(1.0, recorder, "x")
+    event.cancel()
+    sim.run()
+    assert recorder.calls == []
+
+
+def test_cancel_is_idempotent(sim, recorder):
+    event = sim.schedule(1.0, recorder, "x")
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert recorder.calls == []
+
+
+def test_cancel_from_within_callback(sim, recorder):
+    later = sim.schedule(2.0, recorder, "later")
+    sim.schedule(1.0, later.cancel)
+    sim.run()
+    assert recorder.calls == []
+
+
+def test_events_scheduled_during_run_fire(sim, recorder):
+    def outer():
+        recorder("outer")
+        sim.schedule(1.0, recorder, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert recorder.calls == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_stop_halts_run(sim, recorder):
+    sim.schedule(1.0, recorder, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, recorder, "b")
+    stopped_at = sim.run()
+    assert recorder.calls == ["a"]
+    assert stopped_at == 2.0
+    # A subsequent run resumes from where it stopped.
+    sim.run()
+    assert recorder.calls == ["a", "b"]
+
+
+def test_step_processes_single_event(sim, recorder):
+    sim.schedule(1.0, recorder, "a")
+    sim.schedule(2.0, recorder, "b")
+    assert sim.step() is True
+    assert recorder.calls == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_step_skips_cancelled_events(sim, recorder):
+    event = sim.schedule(1.0, recorder, "a")
+    sim.schedule(2.0, recorder, "b")
+    event.cancel()
+    assert sim.step() is True
+    assert recorder.calls == ["b"]
+
+
+def test_events_processed_counter(sim, recorder):
+    for i in range(5):
+        sim.schedule(float(i + 1), recorder, i)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_pending_counts_uncancelled(sim):
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    a.cancel()
+    assert sim.pending() == 1
+
+
+def test_reentrant_run_rejected(sim):
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_callback_args_passed_through(sim, recorder):
+    sim.schedule(1.0, recorder, 1, 2, 3)
+    sim.run()
+    assert recorder.calls == [(1, 2, 3)]
+
+
+def test_zero_delay_event_fires_at_current_time(sim, recorder):
+    sim.schedule(0.0, lambda: recorder(sim.now))
+    sim.run()
+    assert recorder.calls == [0.0]

@@ -1,0 +1,205 @@
+"""Unit and property tests for RNG streams and distributions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Normal,
+    RngRegistry,
+    Uniform,
+)
+
+
+# ---------------------------------------------------------------------------
+# RngRegistry
+# ---------------------------------------------------------------------------
+def test_same_seed_same_stream_sequence():
+    a = RngRegistry(7).stream("x")
+    b = RngRegistry(7).stream("x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_different_streams():
+    reg = RngRegistry(7)
+    xs = [reg.stream("x").random() for _ in range(5)]
+    ys = [reg.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_give_different_streams():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(0)
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_new_stream_does_not_perturb_existing():
+    reg1 = RngRegistry(3)
+    s = reg1.stream("a")
+    first = [s.random() for _ in range(3)]
+
+    reg2 = RngRegistry(3)
+    reg2.stream("b")  # extra consumer created first
+    s2 = reg2.stream("a")
+    second = [s2.random() for _ in range(3)]
+    assert first == second
+
+
+def test_spawn_derives_independent_registry():
+    parent = RngRegistry(5)
+    child1 = parent.spawn("rep1")
+    child2 = parent.spawn("rep2")
+    assert child1.seed != child2.seed
+    assert parent.spawn("rep1").seed == child1.seed
+
+
+# ---------------------------------------------------------------------------
+# Distributions
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def stream():
+    return RngRegistry(99).stream("dist")
+
+
+def test_constant_always_same(stream):
+    d = Constant(0.5)
+    assert all(d.sample(stream) == 0.5 for _ in range(10))
+    assert d.mean() == 0.5
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        Constant(-1.0)
+
+
+def test_uniform_within_bounds(stream):
+    d = Uniform(0.2, 0.8)
+    samples = [d.sample(stream) for _ in range(200)]
+    assert all(0.2 <= s <= 0.8 for s in samples)
+    assert abs(sum(samples) / len(samples) - d.mean()) < 0.05
+
+
+def test_uniform_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Uniform(0.5, 0.1)
+    with pytest.raises(ValueError):
+        Uniform(-0.1, 0.5)
+
+
+def test_normal_respects_floor(stream):
+    d = Normal(0.0, 1.0, floor=0.01)
+    assert all(d.sample(stream) >= 0.01 for _ in range(500))
+
+
+def test_normal_sample_mean_near_mu(stream):
+    d = Normal(0.100, 0.010)
+    samples = [d.sample(stream) for _ in range(2000)]
+    assert abs(sum(samples) / len(samples) - 0.100) < 0.002
+
+
+def test_normal_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        Normal(0.1, -0.1)
+
+
+def test_exponential_mean(stream):
+    d = Exponential(mean=0.05)
+    samples = [d.sample(stream) for _ in range(5000)]
+    assert abs(sum(samples) / len(samples) - 0.05) < 0.005
+    assert d.mean() == 0.05
+
+
+def test_exponential_offset_shifts_support(stream):
+    d = Exponential(mean=0.05, offset=0.1)
+    assert all(d.sample(stream) >= 0.1 for _ in range(100))
+    assert d.mean() == pytest.approx(0.15)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        Exponential(0.0)
+
+
+def test_lognormal_mean(stream):
+    d = LogNormal(math.log(0.1), 0.25)
+    expected = math.exp(math.log(0.1) + 0.25**2 / 2)
+    samples = [d.sample(stream) for _ in range(5000)]
+    assert abs(sum(samples) / len(samples) - expected) < 0.01
+    assert d.mean() == pytest.approx(expected)
+
+
+def test_empirical_samples_from_values(stream):
+    d = Empirical([0.1, 0.2, 0.3])
+    assert all(d.sample(stream) in (0.1, 0.2, 0.3) for _ in range(50))
+    assert d.mean() == pytest.approx(0.2)
+
+
+def test_empirical_rejects_empty_and_negative():
+    with pytest.raises(ValueError):
+        Empirical([])
+    with pytest.raises(ValueError):
+        Empirical([0.1, -0.2])
+
+
+def test_mixture_mean_is_weighted(stream):
+    d = Mixture([Constant(0.1), Constant(0.5)], weights=[3.0, 1.0])
+    assert d.mean() == pytest.approx(0.2)
+    samples = [d.sample(stream) for _ in range(4000)]
+    assert abs(sum(samples) / len(samples) - 0.2) < 0.01
+
+
+def test_mixture_validation():
+    with pytest.raises(ValueError):
+        Mixture([])
+    with pytest.raises(ValueError):
+        Mixture([Constant(1.0)], weights=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        Mixture([Constant(1.0)], weights=[0.0])
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    name=st.text(min_size=1, max_size=20),
+)
+@settings(max_examples=50)
+def test_streams_are_reproducible_property(seed, name):
+    a = RngRegistry(seed).stream(name).random()
+    b = RngRegistry(seed).stream(name).random()
+    assert a == b
+
+
+@given(
+    mu=st.floats(min_value=0.0, max_value=10.0),
+    sigma=st.floats(min_value=0.0, max_value=5.0),
+    floor=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=50)
+def test_normal_samples_never_below_floor(mu, sigma, floor):
+    stream = RngRegistry(0).stream("prop")
+    d = Normal(mu, sigma, floor=floor)
+    assert all(d.sample(stream) >= floor for _ in range(20))
+
+
+@given(low=st.floats(min_value=0, max_value=5), span=st.floats(min_value=0, max_value=5))
+@settings(max_examples=50)
+def test_uniform_sample_in_range_property(low, span):
+    stream = RngRegistry(1).stream("prop")
+    d = Uniform(low, low + span)
+    for _ in range(20):
+        s = d.sample(stream)
+        assert low <= s <= low + span

@@ -1,0 +1,204 @@
+"""Unit and property tests for discrete pmfs and convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.pmf import DiscretePmf, convolve_all
+
+Q = 1e-3
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+def test_from_samples_relative_frequency():
+    pmf = DiscretePmf.from_samples([0.010, 0.010, 0.020, 0.030], Q)
+    assert pmf.cdf(0.010) == pytest.approx(0.5)
+    assert pmf.cdf(0.020) == pytest.approx(0.75)
+    assert pmf.cdf(0.030) == pytest.approx(1.0)
+
+
+def test_from_samples_quantizes_to_grid():
+    pmf = DiscretePmf.from_samples([0.0104, 0.0096], Q)  # both round to 10 ms
+    assert pmf.mass.size == 1
+    assert pmf.mean() == pytest.approx(0.010)
+
+
+def test_from_samples_clamps_negative():
+    pmf = DiscretePmf.from_samples([-0.5, 0.002], Q)
+    assert pmf.support_min == 0.0
+
+
+def test_from_samples_empty_rejected():
+    with pytest.raises(ValueError):
+        DiscretePmf.from_samples([], Q)
+
+
+def test_degenerate_point_mass():
+    pmf = DiscretePmf.degenerate(0.005, Q)
+    assert pmf.mean() == pytest.approx(0.005)
+    assert pmf.cdf(0.004) == 0.0
+    assert pmf.cdf(0.005) == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DiscretePmf(0.0, 0, np.array([1.0]))
+    with pytest.raises(ValueError):
+        DiscretePmf(Q, -1, np.array([1.0]))
+    with pytest.raises(ValueError):
+        DiscretePmf(Q, 0, np.array([]))
+    with pytest.raises(ValueError):
+        DiscretePmf(Q, 0, np.array([-0.5, 1.0]))
+    with pytest.raises(ValueError):
+        DiscretePmf(Q, 0, np.array([0.0]))
+
+
+def test_mass_is_normalized():
+    pmf = DiscretePmf(Q, 0, np.array([2.0, 2.0]))
+    assert pmf.mass.sum() == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+def test_cdf_bounds():
+    pmf = DiscretePmf.from_samples([0.010, 0.020], Q)
+    assert pmf.cdf(0.0) == 0.0
+    assert pmf.cdf(1.0) == 1.0
+
+
+def test_mean_and_variance():
+    pmf = DiscretePmf.from_samples([0.010, 0.030], Q)
+    assert pmf.mean() == pytest.approx(0.020)
+    assert pmf.variance() == pytest.approx(0.0001, rel=1e-6)
+
+
+def test_quantile():
+    pmf = DiscretePmf.from_samples([0.010, 0.020, 0.030, 0.040], Q)
+    assert pmf.quantile(0.25) == pytest.approx(0.010)
+    assert pmf.quantile(0.5) == pytest.approx(0.020)
+    assert pmf.quantile(1.0) == pytest.approx(0.040)
+    with pytest.raises(ValueError):
+        pmf.quantile(1.5)
+
+
+# ---------------------------------------------------------------------------
+# Algebra
+# ---------------------------------------------------------------------------
+def test_convolution_of_point_masses():
+    a = DiscretePmf.degenerate(0.010, Q)
+    b = DiscretePmf.degenerate(0.005, Q)
+    c = a.convolve(b)
+    assert c.mean() == pytest.approx(0.015)
+    assert c.cdf(0.0149) == 0.0
+    assert c.cdf(0.015) == 1.0
+
+
+def test_convolution_mean_additive():
+    a = DiscretePmf.from_samples([0.010, 0.020, 0.020], Q)
+    b = DiscretePmf.from_samples([0.005, 0.015], Q)
+    assert a.convolve(b).mean() == pytest.approx(a.mean() + b.mean())
+
+
+def test_convolution_commutative():
+    a = DiscretePmf.from_samples([0.010, 0.030], Q)
+    b = DiscretePmf.from_samples([0.005, 0.015, 0.025], Q)
+    ab, ba = a.convolve(b), b.convolve(a)
+    assert ab.offset == ba.offset
+    np.testing.assert_allclose(ab.mass, ba.mass)
+
+
+def test_convolution_quantum_mismatch_rejected():
+    a = DiscretePmf.degenerate(0.01, 1e-3)
+    b = DiscretePmf.degenerate(0.01, 1e-4)
+    with pytest.raises(ValueError):
+        a.convolve(b)
+
+
+def test_shift_moves_support():
+    pmf = DiscretePmf.from_samples([0.010], Q).shift(0.007)
+    assert pmf.mean() == pytest.approx(0.017)
+
+
+def test_shift_negative_beyond_support_rejected():
+    with pytest.raises(ValueError):
+        DiscretePmf.degenerate(0.001, Q).shift(-0.005)
+
+
+def test_mixture_weights():
+    a = DiscretePmf.degenerate(0.010, Q)
+    b = DiscretePmf.degenerate(0.030, Q)
+    mix = a.mix(b, 0.25)
+    assert mix.cdf(0.010) == pytest.approx(0.25)
+    assert mix.cdf(0.030) == pytest.approx(1.0)
+    assert mix.mean() == pytest.approx(0.25 * 0.010 + 0.75 * 0.030)
+
+
+def test_mixture_validation():
+    a = DiscretePmf.degenerate(0.010, Q)
+    with pytest.raises(ValueError):
+        a.mix(a, 1.5)
+
+
+def test_convolve_all():
+    pmfs = [DiscretePmf.degenerate(0.001 * i, Q) for i in (1, 2, 3)]
+    assert convolve_all(pmfs).mean() == pytest.approx(0.006)
+    with pytest.raises(ValueError):
+        convolve_all([])
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+samples_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=40
+)
+
+
+@given(samples=samples_strategy)
+@settings(max_examples=80)
+def test_mass_always_sums_to_one(samples):
+    pmf = DiscretePmf.from_samples(samples, Q)
+    assert pmf.mass.sum() == pytest.approx(1.0)
+
+
+@given(samples=samples_strategy)
+@settings(max_examples=80)
+def test_cdf_is_monotone(samples):
+    pmf = DiscretePmf.from_samples(samples, Q)
+    xs = np.linspace(0, 2.5, 50)
+    values = [pmf.cdf(x) for x in xs]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(1.0)
+
+
+@given(a=samples_strategy, b=samples_strategy)
+@settings(max_examples=60)
+def test_convolution_mean_additive_property(a, b):
+    pa = DiscretePmf.from_samples(a, Q)
+    pb = DiscretePmf.from_samples(b, Q)
+    conv = pa.convolve(pb)
+    assert conv.mean() == pytest.approx(pa.mean() + pb.mean(), abs=1e-9)
+    assert conv.mass.sum() == pytest.approx(1.0)
+
+
+@given(a=samples_strategy, b=samples_strategy)
+@settings(max_examples=60)
+def test_convolution_cdf_dominated_by_components(a, b):
+    """P(X+Y <= d) <= min(P(X <= d), P(Y <= d)) for non-negative X, Y."""
+    pa = DiscretePmf.from_samples(a, Q)
+    pb = DiscretePmf.from_samples(b, Q)
+    conv = pa.convolve(pb)
+    for d in (0.05, 0.5, 1.5):
+        assert conv.cdf(d) <= min(pa.cdf(d), pb.cdf(d)) + 1e-9
+
+
+@given(samples=samples_strategy, q=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60)
+def test_quantile_inverts_cdf(samples, q):
+    pmf = DiscretePmf.from_samples(samples, Q)
+    v = pmf.quantile(q)
+    assert pmf.cdf(v) >= q - 1e-9

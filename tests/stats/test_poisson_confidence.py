@@ -1,0 +1,139 @@
+"""Unit tests for the Poisson CDF and binomial confidence intervals,
+cross-checked against scipy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.stats.confidence import binomial_confidence_interval, wilson_interval
+from repro.stats.poisson import poisson_cdf, poisson_pmf, poisson_quantile
+
+
+# ---------------------------------------------------------------------------
+# Poisson
+# ---------------------------------------------------------------------------
+def test_pmf_matches_scipy():
+    for mean in (0.1, 1.0, 5.0, 20.0):
+        for n in range(0, 30, 3):
+            assert poisson_pmf(n, mean) == pytest.approx(
+                sps.poisson.pmf(n, mean), abs=1e-12
+            )
+
+
+def test_cdf_matches_scipy():
+    for mean in (0.01, 0.5, 2.0, 10.0):
+        for a in range(0, 25, 2):
+            assert poisson_cdf(a, mean) == pytest.approx(
+                sps.poisson.cdf(a, mean), abs=1e-10
+            )
+
+
+def test_cdf_zero_mean_is_one():
+    assert poisson_cdf(0, 0.0) == 1.0
+    assert poisson_cdf(5, 0.0) == 1.0
+
+
+def test_cdf_negative_threshold_is_zero():
+    assert poisson_cdf(-1, 2.0) == 0.0
+
+
+def test_pmf_zero_mean():
+    assert poisson_pmf(0, 0.0) == 1.0
+    assert poisson_pmf(3, 0.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        poisson_pmf(-1, 1.0)
+    with pytest.raises(ValueError):
+        poisson_pmf(1, -1.0)
+    with pytest.raises(ValueError):
+        poisson_cdf(1, -0.5)
+
+
+def test_quantile_inverts_cdf():
+    for mean in (0.5, 3.0, 12.0):
+        for q in (0.1, 0.5, 0.9, 0.99):
+            a = poisson_quantile(q, mean)
+            assert poisson_cdf(a, mean) >= q
+            if a > 0:
+                assert poisson_cdf(a - 1, mean) < q
+
+
+@given(
+    a=st.integers(min_value=0, max_value=50),
+    mean=st.floats(min_value=0.0, max_value=50.0),
+)
+@settings(max_examples=100)
+def test_cdf_in_unit_interval_and_monotone(a, mean):
+    value = poisson_cdf(a, mean)
+    assert 0.0 <= value <= 1.0
+    assert poisson_cdf(a + 1, mean) >= value - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Binomial confidence intervals (§6: 95 % level)
+# ---------------------------------------------------------------------------
+def test_wald_interval_contains_point_estimate():
+    low, high = binomial_confidence_interval(20, 100)
+    assert low <= 0.2 <= high
+
+
+def test_wald_interval_matches_formula():
+    low, high = binomial_confidence_interval(50, 100, 0.95)
+    half = 1.959963984540054 * math.sqrt(0.25 / 100)
+    assert low == pytest.approx(0.5 - half)
+    assert high == pytest.approx(0.5 + half)
+
+
+def test_interval_clamped_to_unit():
+    low, high = binomial_confidence_interval(0, 10)
+    assert low == 0.0
+    low, high = binomial_confidence_interval(10, 10)
+    assert high == 1.0
+
+
+def test_wilson_matches_scipy_binomtest():
+    result = sps.binomtest(13, 100).proportion_ci(0.95, method="wilson")
+    low, high = wilson_interval(13, 100, 0.95)
+    assert low == pytest.approx(result.low, abs=1e-9)
+    assert high == pytest.approx(result.high, abs=1e-9)
+
+
+def test_wilson_never_degenerate_at_extremes():
+    low, high = wilson_interval(0, 50)
+    assert high > 0.0  # unlike Wald, which collapses to [0, 0]
+
+
+def test_interval_narrows_with_more_trials():
+    narrow = binomial_confidence_interval(100, 1000)
+    wide = binomial_confidence_interval(10, 100)
+    assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        binomial_confidence_interval(1, 0)
+    with pytest.raises(ValueError):
+        binomial_confidence_interval(5, 4)
+    with pytest.raises(ValueError):
+        binomial_confidence_interval(1, 10, level=0.77)
+    with pytest.raises(ValueError):
+        wilson_interval(-1, 10)
+
+
+@given(
+    trials=st.integers(min_value=1, max_value=10000),
+    frac=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=80)
+def test_intervals_well_formed_property(trials, frac):
+    successes = int(round(frac * trials))
+    for fn in (binomial_confidence_interval, wilson_interval):
+        low, high = fn(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+        assert low <= successes / trials + 1e-12
+        assert high >= successes / trials - 1e-12

@@ -1,0 +1,106 @@
+"""Unit tests for sliding windows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.sliding_window import PairWindow, SlidingWindow
+
+
+# ---------------------------------------------------------------------------
+# SlidingWindow
+# ---------------------------------------------------------------------------
+def test_records_in_order():
+    window = SlidingWindow(5)
+    window.extend([1.0, 2.0, 3.0])
+    assert window.samples() == [1.0, 2.0, 3.0]
+    assert window.latest == 3.0
+
+
+def test_evicts_oldest_when_full():
+    window = SlidingWindow(3)
+    window.extend([1, 2, 3, 4, 5])
+    assert window.samples() == [3.0, 4.0, 5.0]
+    assert window.total_recorded == 5
+    assert window.full
+
+
+def test_len_bool_iter():
+    window = SlidingWindow(3)
+    assert not window and len(window) == 0
+    window.record(1.0)
+    assert window and list(window) == [1.0]
+
+
+def test_mean():
+    window = SlidingWindow(4)
+    window.extend([1.0, 3.0])
+    assert window.mean() == 2.0
+    with pytest.raises(ValueError):
+        SlidingWindow(2).mean()
+
+
+def test_latest_none_when_empty():
+    assert SlidingWindow(2).latest is None
+
+
+def test_clear():
+    window = SlidingWindow(2)
+    window.record(1.0)
+    window.clear()
+    assert len(window) == 0
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        SlidingWindow(0)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=20),
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=100),
+)
+@settings(max_examples=60)
+def test_window_keeps_most_recent_property(size, values):
+    window = SlidingWindow(size)
+    window.extend(values)
+    assert window.samples() == [float(v) for v in values[-size:]]
+
+
+# ---------------------------------------------------------------------------
+# PairWindow (update-rate estimation, §5.4.1)
+# ---------------------------------------------------------------------------
+def test_pair_window_rate():
+    window = PairWindow(5)
+    window.record(4, 2.0)
+    window.record(2, 1.0)
+    assert window.rate() == pytest.approx(2.0)
+
+
+def test_pair_window_evicts():
+    window = PairWindow(2)
+    window.record(100, 1.0)
+    window.record(2, 1.0)
+    window.record(2, 1.0)
+    assert window.rate() == pytest.approx(2.0)
+    assert len(window) == 2
+
+
+def test_pair_window_default_without_time():
+    assert PairWindow(3).rate(default=7.0) == 7.0
+
+
+def test_pair_window_validation():
+    with pytest.raises(ValueError):
+        PairWindow(0)
+    window = PairWindow(2)
+    with pytest.raises(ValueError):
+        window.record(-1, 1.0)
+    with pytest.raises(ValueError):
+        window.record(1, -1.0)
+
+
+def test_pair_window_pairs_snapshot():
+    window = PairWindow(3)
+    window.record(1, 0.5)
+    assert window.pairs() == [(1, 0.5)]

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "DSN 2002" in out
+    assert "repro.core" in out
+    assert "EXPERIMENTS.md" in out
+
+
+def test_figure3_command_runs(capsys, tmp_path):
+    save_path = str(tmp_path / "fig3.json")
+    assert main(["figure3", "--save", save_path]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "total_us" in out
+    from repro.experiments.report import load_results
+
+    document = load_results(save_path)
+    assert document["meta"]["experiment"] == "figure3"
+    assert len(document["results"]) == 18  # 9 replica counts x 2 windows
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_all_commands_registered():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions
+        if isinstance(a, type(parser._subparsers._group_actions[0]))
+    )
+    assert set(sub.choices) == {
+        "figure3", "figure4", "ablations", "validation", "info"
+    }
+
+
+def test_module_entrypoint_help():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert result.returncode == 0
+    assert "figure4" in result.stdout

@@ -1,0 +1,197 @@
+"""Tests for workload generators and the §6 scenario builder."""
+
+import pytest
+
+from repro.core.qos import QoSSpec
+from repro.core.service import ServiceConfig, build_testbed
+from repro.net.latency import FixedLatency
+from repro.sim.rng import Constant
+from repro.workloads.clients import AlternatingClient, ClientWorkloadConfig
+from repro.workloads.generators import OpenLoopUpdater, PeriodicReader
+from repro.workloads.scenarios import build_paper_scenario
+
+
+def _testbed():
+    return build_testbed(
+        ServiceConfig(
+            name="svc",
+            num_primaries=2,
+            num_secondaries=2,
+            lazy_update_interval=0.5,
+            read_service_time=Constant(0.010),
+        ),
+        seed=8,
+        latency=FixedLatency(0.001),
+    )
+
+
+QOS = QoSSpec(staleness_threshold=10, deadline=1.0, min_probability=0.5)
+
+
+# ---------------------------------------------------------------------------
+# AlternatingClient (§6 pattern)
+# ---------------------------------------------------------------------------
+def test_alternating_pattern_counts():
+    testbed = _testbed()
+    handler = testbed.service.create_client("c", read_only_methods={"get"})
+    workload = AlternatingClient(
+        testbed.sim,
+        handler,
+        ClientWorkloadConfig(total_requests=10, request_delay=0.05, qos=QOS),
+    )
+    testbed.sim.run(until=60.0)
+    assert workload.finished
+    assert len(workload.update_outcomes) == 5
+    assert len(workload.read_outcomes) == 5
+
+
+def test_request_delay_is_completion_to_issue():
+    """§6: the delay elapses *after completion* of the previous request."""
+    testbed = _testbed()
+    handler = testbed.service.create_client("c", read_only_methods={"get"})
+    delay = 0.5
+    workload = AlternatingClient(
+        testbed.sim,
+        handler,
+        ClientWorkloadConfig(total_requests=4, request_delay=delay, qos=QOS),
+    )
+    testbed.sim.run(until=60.0)
+    # 4 requests, each ~12 ms of service+network plus a 0.5 s gap after
+    # each: the run must take at least 4 * 0.5 s.
+    assert testbed.sim.now >= 4 * delay
+
+
+def test_metrics_computed_over_reads():
+    testbed = _testbed()
+    handler = testbed.service.create_client("c", read_only_methods={"get"})
+    workload = AlternatingClient(
+        testbed.sim,
+        handler,
+        ClientWorkloadConfig(total_requests=8, request_delay=0.05, qos=QOS),
+    )
+    testbed.sim.run(until=60.0)
+    assert workload.timing_failure_probability() == pytest.approx(
+        workload.timing_failure_count() / 4
+    )
+    assert workload.average_replicas_selected() >= 1.0
+    assert workload.mean_response_time() > 0.0
+    assert 0.0 <= workload.deferred_fraction() <= 1.0
+
+
+def test_warmup_requests_excluded():
+    testbed = _testbed()
+    handler = testbed.service.create_client("c", read_only_methods={"get"})
+    workload = AlternatingClient(
+        testbed.sim,
+        handler,
+        ClientWorkloadConfig(
+            total_requests=10, request_delay=0.05, qos=QOS, warmup_requests=4
+        ),
+    )
+    testbed.sim.run(until=60.0)
+    assert workload.warmup_skipped == 4
+    assert len(workload.read_outcomes) + len(workload.update_outcomes) == 6
+
+
+def test_empty_metrics_are_zero():
+    testbed = _testbed()
+    handler = testbed.service.create_client("c", read_only_methods={"get"})
+    workload = AlternatingClient(
+        testbed.sim, handler, ClientWorkloadConfig(total_requests=0, qos=QOS)
+    )
+    testbed.sim.run(until=1.0)
+    assert workload.timing_failure_probability() == 0.0
+    assert workload.average_replicas_selected() == 0.0
+    assert workload.mean_response_time() == 0.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClientWorkloadConfig(total_requests=-1)
+    with pytest.raises(ValueError):
+        ClientWorkloadConfig(request_delay=-0.1)
+    with pytest.raises(ValueError):
+        ClientWorkloadConfig(warmup_requests=-1)
+
+
+# ---------------------------------------------------------------------------
+# Open-loop generators
+# ---------------------------------------------------------------------------
+def test_open_loop_updater_rate():
+    testbed = _testbed()
+    handler = testbed.service.create_client("u", read_only_methods={"get"})
+    updater = OpenLoopUpdater(
+        testbed.sim, handler, testbed.rng, rate=10.0, duration=20.0
+    )
+    testbed.sim.run(until=30.0)
+    # Poisson with rate 10 for 20 s -> ~200 updates (tolerate 4 sigma).
+    assert 140 <= updater.issued <= 260
+    assert testbed.service.primaries[0].app.value == updater.issued
+
+
+def test_periodic_updater_exact_count():
+    testbed = _testbed()
+    handler = testbed.service.create_client("u", read_only_methods={"get"})
+    updater = OpenLoopUpdater(
+        testbed.sim, handler, testbed.rng, rate=5.0, duration=2.0, poisson=False
+    )
+    testbed.sim.run(until=10.0)
+    assert updater.issued == 10  # gaps of 0.2 s: issues at 0.2 .. 2.0
+
+
+def test_periodic_reader_collects_outcomes():
+    testbed = _testbed()
+    handler = testbed.service.create_client("r", read_only_methods={"get"})
+    reader = PeriodicReader(
+        testbed.sim, handler, QOS, period=0.2, count=5
+    )
+    testbed.sim.run(until=10.0)
+    assert len(reader.outcomes) == 5
+
+
+def test_generator_validation():
+    testbed = _testbed()
+    handler = testbed.service.create_client("x", read_only_methods={"get"})
+    with pytest.raises(ValueError):
+        OpenLoopUpdater(testbed.sim, handler, testbed.rng, rate=0.0, duration=1.0)
+    with pytest.raises(ValueError):
+        OpenLoopUpdater(testbed.sim, handler, testbed.rng, rate=1.0, duration=0.0)
+    with pytest.raises(ValueError):
+        PeriodicReader(testbed.sim, handler, QOS, period=0.0, count=1)
+    with pytest.raises(ValueError):
+        PeriodicReader(testbed.sim, handler, QOS, period=1.0, count=-1)
+
+
+# ---------------------------------------------------------------------------
+# Paper scenario (§6)
+# ---------------------------------------------------------------------------
+def test_paper_scenario_topology():
+    scenario = build_paper_scenario(total_requests=4)
+    service = scenario.service
+    assert len(service.primaries) == 4
+    assert len(service.secondaries) == 6
+    assert service.sequencer_name == "svc-seq"
+    assert scenario.client1.config.qos.staleness_threshold == 4
+    assert scenario.client1.config.qos.min_probability == 0.1
+    assert scenario.client2.config.qos.staleness_threshold == 2
+
+
+def test_paper_scenario_runs_to_completion():
+    scenario = build_paper_scenario(total_requests=8, request_delay=0.1)
+    scenario.run()
+    assert scenario.client1.finished and scenario.client2.finished
+    assert len(scenario.client2.read_outcomes) == 4
+
+
+def test_paper_scenario_seed_reproducibility():
+    def failure_counts(seed):
+        scenario = build_paper_scenario(
+            total_requests=20, request_delay=0.05, seed=seed
+        )
+        scenario.run()
+        return (
+            scenario.client2.timing_failure_count(),
+            scenario.client2.average_replicas_selected(),
+        )
+
+    assert failure_counts(11) == failure_counts(11)
