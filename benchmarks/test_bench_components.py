@@ -14,12 +14,16 @@ Run: ``pytest benchmarks/test_bench_components.py --benchmark-only``
 
 import pytest
 
+from repro.core.prediction import ResponseTimePredictor
 from repro.core.qos import QoSSpec
+from repro.core.repository import ClientInfoRepository
+from repro.core.requests import PerfBroadcast
 from repro.core.selection import ReplicaView, StateBasedSelection
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.stats.pmf import DiscretePmf
 from repro.stats.poisson import poisson_cdf
+from repro.stats.sliding_window import SlidingWindow
 
 
 # ---------------------------------------------------------------------------
@@ -30,6 +34,17 @@ def test_pmf_from_samples(benchmark):
     rng = RngRegistry(0).stream("bench")
     samples = [max(0.0, rng.gauss(0.1, 0.05)) for _ in range(20)]
     pmf = benchmark(DiscretePmf.from_samples, samples)
+    assert pmf.mass.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="components-pmf")
+def test_pmf_from_histogram(benchmark):
+    """Construction from a window's incremental histogram (no raw pass)."""
+    rng = RngRegistry(0).stream("bench")
+    window = SlidingWindow(20, quantum=1e-3)
+    window.extend(max(0.0, rng.gauss(0.1, 0.05)) for _ in range(20))
+    offset, counts = window.histogram(1e-3)
+    pmf = benchmark(DiscretePmf.from_histogram, 1e-3, offset, counts)
     assert pmf.mass.sum() == pytest.approx(1.0)
 
 
@@ -52,10 +67,91 @@ def test_pmf_cdf_evaluation(benchmark):
     assert 0.0 <= value <= 1.0
 
 
+@pytest.mark.benchmark(group="components-pmf")
+def test_pmf_cdf_many(benchmark):
+    """Batched CDF evaluation against the cached cumulative array."""
+    rng = RngRegistry(2).stream("bench")
+    pmf = DiscretePmf.from_samples(
+        [max(0.0, rng.gauss(0.1, 0.05)) for _ in range(40)]
+    )
+    deadlines = [0.050 + 0.005 * i for i in range(32)]
+    values = benchmark(pmf.cdf_many, deadlines)
+    assert len(values) == 32
+
+
 @pytest.mark.benchmark(group="components-staleness")
 def test_poisson_staleness_factor(benchmark):
     value = benchmark(poisson_cdf, 4, 2.5)
     assert 0.0 <= value <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Versioned prediction cache (§5.2 hot path)
+# ---------------------------------------------------------------------------
+def _filled_predictor(use_cache: bool, replicas: int = 8, window: int = 20):
+    rng = RngRegistry(5).stream("bench")
+    repo = ClientInfoRepository(window)
+    names = [f"r{i}" for i in range(replicas)]
+    for name in names:
+        for _ in range(window):
+            repo.record_broadcast(
+                PerfBroadcast(
+                    replica=name,
+                    ts=max(0.002, rng.gauss(0.100, 0.050)),
+                    tq=max(0.0, rng.gauss(0.010, 0.010)),
+                    tb=rng.uniform(0.0, 2.0),
+                )
+            )
+        repo.record_reply(name, tg=rng.uniform(0.0005, 0.002), now=1.0)
+    predictor = ResponseTimePredictor(repo, 2.0, use_cache=use_cache)
+    return predictor, names
+
+
+def _prediction_pass(predictor, names, deadline=0.150):
+    for name in names:
+        predictor.response_cdfs(name, deadline)
+
+
+@pytest.mark.benchmark(group="components-prediction")
+def test_prediction_pass_uncached(benchmark):
+    """Fresh per-read recomputation (the paper's Figure 3 semantics)."""
+    predictor, names = _filled_predictor(use_cache=False)
+    benchmark(_prediction_pass, predictor, names)
+    assert predictor.cache_hits == 0
+
+
+@pytest.mark.benchmark(group="components-prediction")
+def test_prediction_pass_cached_steady_state(benchmark):
+    """Steady-state reads: every lookup after warmup hits the cache."""
+    predictor, names = _filled_predictor(use_cache=True)
+    _prediction_pass(predictor, names)  # warm the cache
+    benchmark(_prediction_pass, predictor, names)
+    assert predictor.cache_hits > 0
+    assert predictor.cache_invalidations == 0
+
+
+def test_prediction_cache_speedup_threshold(report):
+    """Acceptance: ≥3x on steady-state reads, no regression under churn."""
+    import time
+
+    def timed_pass(predictor, names, reps=300):
+        _prediction_pass(predictor, names)  # warmup / cache fill
+        start = time.perf_counter()
+        for _ in range(reps):
+            _prediction_pass(predictor, names)
+        return time.perf_counter() - start
+
+    uncached, names = _filled_predictor(use_cache=False)
+    cached, _ = _filled_predictor(use_cache=True)
+    cold = timed_pass(uncached, names)
+    warm = timed_pass(cached, names)
+    speedup = cold / warm
+    report(
+        f"prediction cache steady-state: uncached {1e6 * cold / 300:.1f} us/pass, "
+        f"cached {1e6 * warm / 300:.1f} us/pass, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, f"expected >=3x steady-state speedup, got {speedup:.2f}x"
+    assert cached.cache_hits > 0 and cached.cache_invalidations == 0
 
 
 # ---------------------------------------------------------------------------

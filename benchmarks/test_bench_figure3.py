@@ -12,7 +12,12 @@ Run: ``pytest benchmarks/test_bench_figure3.py --benchmark-only``
 
 import pytest
 
-from repro.experiments.figure3 import render, run_figure3
+from repro.experiments.figure3 import (
+    render,
+    render_cache_comparison,
+    run_cache_comparison,
+    run_figure3,
+)
 from repro.experiments.harness import measure_selection_overhead
 
 
@@ -46,3 +51,29 @@ def test_figure3_table(benchmark, report):
     assert result.window20_above_window10()
     # §6: distribution computation dominates the overhead (paper: ~90 %).
     assert all(p.distribution_share > 0.7 for p in result.points.values())
+    # Figure 3 measures fresh recomputation: the cache must stay out of it.
+    assert all(p.cache_hits == 0 for p in result.points.values())
+
+
+def test_figure3_cached_comparison_table(benchmark, report):
+    """Steady-state cached reads vs fresh recomputation, with acceptance
+    thresholds: ≥3x steady-state speedup, no churn regression."""
+    points = benchmark.pedantic(
+        run_cache_comparison, kwargs=dict(repetitions=200), rounds=1
+    )
+    report("")
+    report(render_cache_comparison(points))
+    for n, point in points.items():
+        assert point.steady_speedup >= 3.0, (
+            f"{n} replicas: steady-state speedup {point.steady_speedup:.2f}x < 3x"
+        )
+        assert point.steady_distribution_speedup >= 3.0
+        # Every lookup after the first read is a version-key hit.
+        assert point.steady.cache_hit_rate > 0.9
+        assert point.steady.cache_invalidations == 0
+        # Per-read invalidation: the cache may not slow the pass down
+        # (generous margin because wall-clock timings are noisy).
+        assert point.churn_ratio <= 1.5, (
+            f"{n} replicas: churn ratio {point.churn_ratio:.2f} > 1.5"
+        )
+        assert point.churn_cached.cache_hits == 0

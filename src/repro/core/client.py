@@ -90,6 +90,7 @@ class ClientHandler(GroupEndpoint):
         quantum: float = 1e-3,
         default_qos: Optional[QoSSpec] = None,
         has_sequencer: bool = True,
+        use_prediction_cache: bool = True,
         charge_selection_overhead: bool = False,
         gc_timeout: float = 30.0,
         on_qos_violation: Optional[Callable[[float], None]] = None,
@@ -100,12 +101,15 @@ class ClientHandler(GroupEndpoint):
         super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
         self.groups = groups
         self.registry = ReadOnlyRegistry(read_only_methods)
-        self.repository = ClientInfoRepository(window_size)
+        # The repository's windows share the predictor's quantum so their
+        # incremental histograms feed pmf construction directly.
+        self.repository = ClientInfoRepository(window_size, quantum=quantum)
         self.predictor = ResponseTimePredictor(
             self.repository,
             lazy_update_interval,
             quantum=quantum,
             staleness_model=staleness_model,
+            use_cache=use_prediction_cache,
         )
         self.strategy = strategy or StateBasedSelection()
         self.default_qos = default_qos
@@ -193,6 +197,10 @@ class ClientHandler(GroupEndpoint):
         if not self.selected_counts:
             return 0.0
         return sum(self.selected_counts) / len(self.selected_counts)
+
+    def prediction_cache_stats(self) -> dict[str, int]:
+        """Pmf-cache hit/miss/invalidation counters (benchmark reporting)."""
+        return self.predictor.cache_stats
 
     # ------------------------------------------------------------------
     # Update path (§5: multicast to all primaries)

@@ -20,14 +20,45 @@ Prediction quality notes:
 * before any deferred read has been observed, ``U`` falls back to a
   Uniform(0, T_L) pmf — exactly the distribution of the residual time to
   the next lazy update seen by a request arriving at a random phase.
+
+Caching (beyond the paper, see DESIGN.md "Prediction-cache architecture"):
+the convolved distributions only change when a new measurement lands, yet
+steady-state read bursts re-evaluate them on every request.  Each
+replica's base pmf (``S ⊛ W`` shifted by ``G``) and deferred pmf
+(``base ⊛ U``) are therefore cached, keyed on the sliding windows'
+monotonically increasing versions plus the latest gateway delay, and
+rebuilt only when that key changes.  The cache is bit-for-bit equivalent
+to fresh recomputation (property-tested), so Figure 3/4 results are
+unchanged — only faster.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.repository import ClientInfoRepository
+import numpy as np
+
+from repro.core.repository import ClientInfoRepository, ReplicaStats
 from repro.stats.pmf import DEFAULT_QUANTUM, DiscretePmf
+from repro.stats.sliding_window import SlidingWindow
+
+
+@dataclass
+class _ReplicaPmfCache:
+    """Cached distributions for one replica, tagged with version keys.
+
+    ``base_key`` is ``(ts_version, tq_version, latest_tg)`` — the complete
+    set of inputs to the immediate-read pmf.  ``lazy_key`` extends it for
+    the deferred pmf with the ``t_b`` window version (or the uniform
+    fallback's interval).  A key mismatch means a measurement landed and
+    the entry is stale.
+    """
+
+    base_key: tuple
+    base_pmf: DiscretePmf
+    lazy_key: Optional[tuple] = None
+    full_pmf: Optional[DiscretePmf] = None
 
 
 class ResponseTimePredictor:
@@ -41,6 +72,7 @@ class ResponseTimePredictor:
         default_gateway_delay: float = 0.001,
         bootstrap_cdf: float = 1.0,
         staleness_model: Optional["StalenessModel"] = None,
+        use_cache: bool = True,
     ) -> None:
         if lazy_update_interval <= 0:
             raise ValueError(
@@ -59,6 +91,15 @@ class ResponseTimePredictor:
         self.bootstrap_cdf = bootstrap_cdf
         self.staleness_model = staleness_model or PoissonStalenessModel()
         self.evaluations = 0  # number of distribution computations (Fig. 3)
+        # Versioned pmf cache (same counter pattern as ``evaluations``):
+        # a hit returns a previously convolved pmf, a miss rebuilds it, an
+        # invalidation is a miss that found a stale entry to replace.
+        self.use_cache = use_cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self._pmf_cache: dict[str, _ReplicaPmfCache] = {}
+        self._uniform_lazy_cache: dict[tuple[float, float], DiscretePmf] = {}
 
     # ------------------------------------------------------------------
     # Response-time distributions (§5.2)
@@ -73,9 +114,9 @@ class ResponseTimePredictor:
         if not stats.has_history:
             return (self.bootstrap_cdf, self.bootstrap_cdf)
         self.evaluations += 1
-        base = self._immediate_pmf(stats)
+        base = self._immediate_pmf(replica, stats)
         immediate = base.cdf(deadline)
-        delayed = base.convolve(self._lazy_wait_pmf(stats)).cdf(deadline)
+        delayed = self._deferred_pmf(replica, stats, base).cdf(deadline)
         return (immediate, delayed)
 
     def immediate_cdf(self, replica: str, deadline: float) -> float:
@@ -84,11 +125,68 @@ class ResponseTimePredictor:
         if not stats.has_history:
             return self.bootstrap_cdf
         self.evaluations += 1
-        return self._immediate_pmf(stats).cdf(deadline)
+        return self._immediate_pmf(replica, stats).cdf(deadline)
 
-    def _immediate_pmf(self, stats) -> DiscretePmf:
-        service = DiscretePmf.from_samples(stats.ts_window.samples(), self.quantum)
-        queuing = DiscretePmf.from_samples(stats.tq_window.samples(), self.quantum)
+    # ------------------------------------------------------------------
+    # Versioned pmf cache
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/invalidation counters for benchmark reports."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "invalidations": self.cache_invalidations,
+        }
+
+    def clear_cache(self) -> None:
+        self._pmf_cache.clear()
+        self._uniform_lazy_cache.clear()
+
+    def _immediate_pmf(self, replica: str, stats: ReplicaStats) -> DiscretePmf:
+        key = (
+            stats.ts_window.version,
+            stats.tq_window.version,
+            stats.latest_tg,
+        )
+        if self.use_cache:
+            entry = self._pmf_cache.get(replica)
+            if entry is not None:
+                if entry.base_key == key:
+                    self.cache_hits += 1
+                    return entry.base_pmf
+                self.cache_invalidations += 1
+            self.cache_misses += 1
+        base = self._compute_immediate_pmf(stats)
+        if self.use_cache:
+            # Replacing the whole entry also drops the stale deferred pmf.
+            self._pmf_cache[replica] = _ReplicaPmfCache(base_key=key, base_pmf=base)
+        return base
+
+    def _deferred_pmf(
+        self, replica: str, stats: ReplicaStats, base: DiscretePmf
+    ) -> DiscretePmf:
+        if stats.tb_window:
+            lazy_key = ("tb", stats.tb_window.version)
+        else:
+            lazy_key = ("uniform", self.lazy_update_interval)
+        entry = self._pmf_cache.get(replica) if self.use_cache else None
+        if entry is not None:
+            if entry.full_pmf is not None:
+                if entry.lazy_key == lazy_key:
+                    self.cache_hits += 1
+                    return entry.full_pmf
+                self.cache_invalidations += 1
+            self.cache_misses += 1
+        full = base.convolve(self._lazy_wait_pmf(stats))
+        if entry is not None:
+            entry.lazy_key = lazy_key
+            entry.full_pmf = full
+        return full
+
+    def _compute_immediate_pmf(self, stats: ReplicaStats) -> DiscretePmf:
+        service = self._window_pmf(stats.ts_window)
+        queuing = self._window_pmf(stats.tq_window)
         gateway = (
             stats.latest_tg
             if stats.latest_tg is not None
@@ -97,15 +195,26 @@ class ResponseTimePredictor:
         # G enters as its most recent value (§5.2.1): a shift of the grid.
         return service.convolve(queuing).shift(gateway)
 
-    def _lazy_wait_pmf(self, stats) -> DiscretePmf:
+    def _window_pmf(self, window: SlidingWindow) -> DiscretePmf:
+        histogram = window.histogram(self.quantum)
+        if histogram is not None:
+            return DiscretePmf.from_histogram(self.quantum, *histogram)
+        # Quantum mismatch between window and predictor: bin raw samples.
+        return DiscretePmf.from_samples(window.samples(), self.quantum)
+
+    def _lazy_wait_pmf(self, stats: ReplicaStats) -> DiscretePmf:
         if stats.tb_window:
-            return DiscretePmf.from_samples(stats.tb_window.samples(), self.quantum)
+            return self._window_pmf(stats.tb_window)
         # No deferred read observed yet: residual time to the next lazy
         # update for a uniformly random arrival phase is Uniform(0, T_L).
-        bins = max(1, int(round(self.lazy_update_interval / self.quantum)))
-        import numpy as np
-
-        return DiscretePmf(self.quantum, 0, np.full(bins, 1.0 / bins))
+        # Constant for a given (T_L, quantum), so memoized unconditionally.
+        key = (self.lazy_update_interval, self.quantum)
+        pmf = self._uniform_lazy_cache.get(key)
+        if pmf is None:
+            bins = max(1, int(round(self.lazy_update_interval / self.quantum)))
+            pmf = DiscretePmf(self.quantum, 0, np.full(bins, 1.0 / bins))
+            self._uniform_lazy_cache[key] = pmf
+        return pmf
 
     # ------------------------------------------------------------------
     # Staleness factor (§5.1.3, Eq. 4)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.requests import PerfBroadcast
+from repro.stats.pmf import DEFAULT_QUANTUM
 from repro.stats.sliding_window import PairWindow, SlidingWindow
 
 
@@ -59,10 +60,18 @@ class LazyObservation:
 class ClientInfoRepository:
     """Everything one client has learned by monitoring the replicas."""
 
-    def __init__(self, window_size: int = 20) -> None:
+    def __init__(
+        self, window_size: int = 20, quantum: float = DEFAULT_QUANTUM
+    ) -> None:
         if window_size <= 0:
             raise ValueError(f"window size must be positive, got {window_size!r}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
         self.window_size = window_size
+        # The windows maintain incremental histograms on this grid; the
+        # predictor reuses them when its quantum matches (it falls back to
+        # raw samples otherwise, so a mismatch costs speed, not accuracy).
+        self.quantum = float(quantum)
         self._stats: dict[str, ReplicaStats] = {}
         self.update_rate_window = PairWindow(window_size)
         self.latest_lazy: Optional[LazyObservation] = None
@@ -74,9 +83,9 @@ class ClientInfoRepository:
         stats = self._stats.get(replica)
         if stats is None:
             stats = ReplicaStats(
-                ts_window=SlidingWindow(self.window_size),
-                tq_window=SlidingWindow(self.window_size),
-                tb_window=SlidingWindow(self.window_size),
+                ts_window=SlidingWindow(self.window_size, self.quantum),
+                tq_window=SlidingWindow(self.window_size, self.quantum),
+                tb_window=SlidingWindow(self.window_size, self.quantum),
             )
             self._stats[replica] = stats
         return stats

@@ -15,7 +15,7 @@ overhead measurement depends on.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +28,7 @@ class DiscretePmf:
     Instances are immutable in practice: all operations return new pmfs.
     """
 
-    __slots__ = ("quantum", "offset", "mass")
+    __slots__ = ("quantum", "offset", "mass", "_cum")
 
     def __init__(self, quantum: float, offset: int, mass: np.ndarray) -> None:
         if quantum <= 0:
@@ -46,6 +46,7 @@ class DiscretePmf:
         self.quantum = float(quantum)
         self.offset = int(offset)
         self.mass = np.clip(mass, 0.0, None) / total
+        self._cum: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -59,16 +60,30 @@ class DiscretePmf:
         Each sample contributes equal mass (relative frequency, as §5.2
         prescribes).  Negative samples are clamped to zero.
         """
-        values = [max(0.0, float(s)) for s in samples]
-        if not values:
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
             raise ValueError("cannot build a pmf from zero samples")
-        bins = np.rint(np.asarray(values) / quantum).astype(int)
+        bins = np.rint(np.clip(values, 0.0, None) / quantum).astype(int)
         low = int(bins.min())
-        high = int(bins.max())
-        mass = np.zeros(high - low + 1, dtype=float)
-        for b in bins:
-            mass[b - low] += 1.0
+        mass = np.bincount(bins - low).astype(float)
         return cls(quantum, low, mass)
+
+    @classmethod
+    def from_histogram(
+        cls,
+        quantum: float,
+        offset: int,
+        counts: Sequence[float] | np.ndarray,
+    ) -> "DiscretePmf":
+        """Build a pmf from pre-binned counts on the grid.
+
+        The counterpart of :meth:`from_samples` for callers that already
+        maintain an incremental histogram (``SlidingWindow.histogram``):
+        the counts are taken as-is, so construction is O(bins) with no
+        pass over raw samples.  Bit-for-bit equivalent to
+        :meth:`from_samples` on the samples the histogram summarizes.
+        """
+        return cls(quantum, offset, np.asarray(counts, dtype=float))
 
     @classmethod
     def degenerate(
@@ -101,6 +116,20 @@ class DiscretePmf:
         mu = float(np.dot(values, self.mass))
         return float(np.dot((values - mu) ** 2, self.mass))
 
+    def _cumulative(self) -> np.ndarray:
+        """Lazily materialized running sum of :attr:`mass`.
+
+        Built once per pmf, after which every :meth:`cdf` is an O(1)
+        index, :meth:`quantile` an O(log n) bisection, and
+        :meth:`cdf_many` one vectorized gather — instead of O(n) slicing
+        per call.  Safe because instances are immutable in practice.
+        """
+        cum = self._cum
+        if cum is None:
+            cum = np.cumsum(self.mass)
+            self._cum = cum
+        return cum
+
     def cdf(self, x: float) -> float:
         """P(X <= x): total mass of grid values <= x (float-error tolerant)."""
         if x < self.support_min:
@@ -111,13 +140,30 @@ class DiscretePmf:
             return 0.0
         if upto >= self.mass.size:
             return 1.0
-        return float(self.mass[:upto].sum())
+        return float(self._cumulative()[upto - 1])
+
+    def cdf_many(self, xs: Iterable[float]) -> np.ndarray:
+        """Vectorized :meth:`cdf` over many evaluation points at once.
+
+        One gather against the cached cumulative array, for callers that
+        evaluate a batch of deadlines (or one deadline against a grid of
+        candidates) in a single step.  Element-for-element identical to
+        calling :meth:`cdf` in a loop.
+        """
+        xs = np.asarray(list(xs) if not isinstance(xs, np.ndarray) else xs, dtype=float)
+        bins = np.floor(xs / self.quantum + 1e-9).astype(int)
+        upto = np.clip(bins - self.offset + 1, 0, self.mass.size)
+        padded = np.concatenate(([0.0], self._cumulative()))
+        out = padded[upto]
+        out[upto == self.mass.size] = 1.0
+        out[xs < self.support_min] = 0.0
+        return out
 
     def quantile(self, q: float) -> float:
         """Smallest grid value v with P(X <= v) >= q."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile level {q!r} outside [0, 1]")
-        cumulative = np.cumsum(self.mass)
+        cumulative = self._cumulative()
         index = int(np.searchsorted(cumulative, q - 1e-12))
         index = min(index, self.mass.size - 1)
         return (self.offset + index) * self.quantum

@@ -5,6 +5,16 @@ these parameters in separate sliding windows in an information repository.
 The size of the sliding window, ``l``, is chosen so as to include a
 reasonable number of recently measured values, while eliminating obsolete
 measurements."
+
+Beyond the paper, each window carries two pieces of bookkeeping that make
+the §5.2 prediction loop incremental instead of per-read:
+
+* a monotonically increasing **version** (bumped on every record/clear),
+  which the prediction cache uses as an invalidation key — "has anything
+  changed since the pmf was last built?" becomes one integer comparison;
+* an incrementally maintained **quantized histogram** (bin counts updated
+  on record and evict), so building a :class:`~repro.stats.pmf.DiscretePmf`
+  no longer iterates the raw samples at all.
 """
 
 from __future__ import annotations
@@ -12,21 +22,51 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator, Optional
 
+import numpy as np
+
+from repro.stats.pmf import DEFAULT_QUANTUM
+
+
+def quantize_bin(value: float, quantum: float) -> int:
+    """Grid bin of one duration sample: ``rint(max(0, value) / quantum)``.
+
+    Python's ``round`` and ``numpy.rint`` both round half to even on the
+    same IEEE double, so this matches the vectorized binning in
+    :meth:`~repro.stats.pmf.DiscretePmf.from_samples` bit for bit.
+    """
+    return round(max(0.0, float(value)) / quantum)
+
 
 class SlidingWindow:
     """Keeps the most recent ``size`` float samples in arrival order."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, quantum: float = DEFAULT_QUANTUM) -> None:
         if size <= 0:
             raise ValueError(f"window size must be positive, got {size!r}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
         self.size = int(size)
+        self.quantum = float(quantum)
         self._samples: deque[float] = deque(maxlen=self.size)
+        self._bin_counts: dict[int, int] = {}
         self.total_recorded = 0
+        self.version = 0
 
     def record(self, value: float) -> None:
         """Append one sample, evicting the oldest once full."""
-        self._samples.append(float(value))
+        value = float(value)
+        if len(self._samples) == self.size:
+            evicted_bin = quantize_bin(self._samples[0], self.quantum)
+            remaining = self._bin_counts[evicted_bin] - 1
+            if remaining:
+                self._bin_counts[evicted_bin] = remaining
+            else:
+                del self._bin_counts[evicted_bin]
+        self._samples.append(value)
+        new_bin = quantize_bin(value, self.quantum)
+        self._bin_counts[new_bin] = self._bin_counts.get(new_bin, 0) + 1
         self.total_recorded += 1
+        self.version += 1
 
     def extend(self, values) -> None:
         for value in values:
@@ -35,6 +75,23 @@ class SlidingWindow:
     def samples(self) -> list[float]:
         """Snapshot of the window contents, oldest first."""
         return list(self._samples)
+
+    def histogram(self, quantum: float) -> Optional[tuple[int, np.ndarray]]:
+        """``(offset, counts)`` of the maintained histogram, or ``None``.
+
+        ``None`` means the caller's quantum does not match this window's
+        grid (or the window is empty) and it must fall back to binning the
+        raw samples itself.  The counts array is freshly allocated, so the
+        caller may hand it to :class:`~repro.stats.pmf.DiscretePmf` safely.
+        """
+        if not self._bin_counts or abs(quantum - self.quantum) > 1e-15:
+            return None
+        low = min(self._bin_counts)
+        high = max(self._bin_counts)
+        counts = np.zeros(high - low + 1, dtype=float)
+        for bin_index, count in self._bin_counts.items():
+            counts[bin_index - low] = count
+        return low, counts
 
     @property
     def latest(self) -> Optional[float]:
@@ -51,6 +108,8 @@ class SlidingWindow:
 
     def clear(self) -> None:
         self._samples.clear()
+        self._bin_counts.clear()
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -70,7 +129,10 @@ class PairWindow:
 
     Used for the update-arrival-rate estimate of §5.4.1: the client records
     a history of ``<n_u, t_u>`` pairs and computes
-    ``lambda_u = sum(n_u) / sum(t_u)`` over the window.
+    ``lambda_u = sum(n_u) / sum(t_u)`` over the window.  The sums are
+    maintained incrementally (updated on record and evict) so
+    :meth:`rate` is O(1) — it sits on the staleness-factor path evaluated
+    once per read.
     """
 
     def __init__(self, size: int) -> None:
@@ -78,21 +140,31 @@ class PairWindow:
             raise ValueError(f"window size must be positive, got {size!r}")
         self.size = int(size)
         self._pairs: deque[tuple[int, float]] = deque(maxlen=self.size)
+        self._count_sum = 0
+        self._time_sum = 0.0
+        self.version = 0
 
     def record(self, count: int, duration: float) -> None:
         if count < 0:
             raise ValueError(f"negative count {count!r}")
         if duration < 0:
             raise ValueError(f"negative duration {duration!r}")
-        self._pairs.append((int(count), float(duration)))
+        if len(self._pairs) == self.size:
+            old_count, old_time = self._pairs[0]
+            self._count_sum -= old_count
+            self._time_sum -= old_time
+        count = int(count)
+        duration = float(duration)
+        self._pairs.append((count, duration))
+        self._count_sum += count
+        self._time_sum += duration
+        self.version += 1
 
     def rate(self, default: float = 0.0) -> float:
         """``sum(counts) / sum(durations)``, or ``default`` if no time yet."""
-        total_count = sum(c for c, _ in self._pairs)
-        total_time = sum(t for _, t in self._pairs)
-        if total_time <= 0:
+        if not self._pairs or self._time_sum <= 0:
             return default
-        return total_count / total_time
+        return self._count_sum / self._time_sum
 
     def pairs(self) -> list[tuple[int, float]]:
         return list(self._pairs)

@@ -1,0 +1,218 @@
+"""Tests for the versioned prediction cache (§5.2 hot path).
+
+The cache must be *bit-for-bit* equivalent to fresh recomputation: a
+cached predictor and an uncached one observing the same repository must
+return exactly equal CDF values across arbitrary interleavings of
+measurements and queries.  Invalidation is purely version-keyed — a new
+measurement bumps a window version (or replaces ``latest_tg``) and the
+next evaluation rebuilds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prediction import ResponseTimePredictor
+from repro.core.repository import ClientInfoRepository
+from repro.core.requests import PerfBroadcast
+
+
+def _fill(repo, replica="r", n=5, tb=True):
+    for i in range(n):
+        repo.record_broadcast(
+            PerfBroadcast(
+                replica=replica,
+                ts=0.010 + 0.001 * i,
+                tq=0.002,
+                tb=(0.100 + 0.010 * i) if tb else None,
+            )
+        )
+    repo.record_reply(replica, tg=0.001, now=1.0)
+
+
+def _paired_predictors(**kwargs):
+    repo = ClientInfoRepository(window_size=8)
+    cached = ResponseTimePredictor(repo, 2.0, use_cache=True, **kwargs)
+    fresh = ResponseTimePredictor(repo, 2.0, use_cache=False, **kwargs)
+    return repo, cached, fresh
+
+
+# ---------------------------------------------------------------------------
+# Hit / miss / invalidation accounting
+# ---------------------------------------------------------------------------
+def test_steady_state_reads_hit_the_cache():
+    repo = ClientInfoRepository(8)
+    _fill(repo)
+    predictor = ResponseTimePredictor(repo, 2.0)
+    predictor.response_cdfs("r", 0.150)
+    assert predictor.cache_misses == 2  # base pmf + deferred pmf
+    assert predictor.cache_hits == 0
+    predictor.response_cdfs("r", 0.200)  # different deadline, same pmfs
+    assert predictor.cache_hits == 2
+    assert predictor.cache_misses == 2
+    assert predictor.cache_invalidations == 0
+
+
+def test_new_measurement_invalidates():
+    repo = ClientInfoRepository(8)
+    _fill(repo)
+    predictor = ResponseTimePredictor(repo, 2.0)
+    predictor.response_cdfs("r", 0.150)
+    repo.record_broadcast(PerfBroadcast(replica="r", ts=0.02, tq=0.001, tb=0.2))
+    predictor.response_cdfs("r", 0.150)
+    # Base entry went stale (ts/tq versions moved); the deferred pmf was
+    # dropped with it, so it recomputes as a plain miss.
+    assert predictor.cache_invalidations == 1
+    assert predictor.cache_misses == 4
+
+
+def test_gateway_delay_refresh_invalidates():
+    repo = ClientInfoRepository(8)
+    _fill(repo)
+    predictor = ResponseTimePredictor(repo, 2.0)
+    before = predictor.immediate_cdf("r", 0.020)
+    repo.record_reply("r", tg=0.050, now=2.0)  # same windows, new G
+    after = predictor.immediate_cdf("r", 0.020)
+    assert predictor.cache_invalidations == 1
+    assert after < before  # larger gateway delay shifts the pmf right
+
+
+def test_unchanged_gateway_delay_does_not_invalidate():
+    repo = ClientInfoRepository(8)
+    _fill(repo)
+    predictor = ResponseTimePredictor(repo, 2.0)
+    predictor.immediate_cdf("r", 0.150)
+    repo.record_reply("r", tg=0.001, now=2.0)  # identical latest_tg
+    predictor.immediate_cdf("r", 0.150)
+    assert predictor.cache_hits == 1
+    assert predictor.cache_invalidations == 0
+
+
+def test_bootstrap_path_bypasses_cache():
+    repo = ClientInfoRepository(8)
+    predictor = ResponseTimePredictor(repo, 2.0)
+    assert predictor.response_cdfs("unknown", 0.1) == (1.0, 1.0)
+    assert predictor.cache_stats == {"hits": 0, "misses": 0, "invalidations": 0}
+
+
+def test_disabled_cache_keeps_counters_at_zero():
+    repo = ClientInfoRepository(8)
+    _fill(repo)
+    predictor = ResponseTimePredictor(repo, 2.0, use_cache=False)
+    predictor.response_cdfs("r", 0.150)
+    predictor.response_cdfs("r", 0.150)
+    assert predictor.cache_stats == {"hits": 0, "misses": 0, "invalidations": 0}
+
+
+def test_clear_cache_forces_recompute():
+    repo = ClientInfoRepository(8)
+    _fill(repo)
+    predictor = ResponseTimePredictor(repo, 2.0)
+    first = predictor.response_cdfs("r", 0.150)
+    predictor.clear_cache()
+    assert predictor.response_cdfs("r", 0.150) == first
+    assert predictor.cache_misses == 4  # both pmfs rebuilt after the clear
+
+
+def test_lazy_interval_change_invalidates_deferred_pmf():
+    """The uniform fallback is keyed on T_L: retuning it must not reuse a
+    pmf built for the old interval."""
+    repo = ClientInfoRepository(8)
+    _fill(repo, tb=False)  # no t_b history -> Uniform(0, T_L) fallback
+    predictor = ResponseTimePredictor(repo, 2.0)
+    _, before = predictor.response_cdfs("r", 0.5)
+    predictor.lazy_update_interval = 0.4
+    _, after = predictor.response_cdfs("r", 0.5)
+    assert after > before  # shorter interval -> much tighter lazy wait
+
+
+def test_per_replica_isolation():
+    repo = ClientInfoRepository(8)
+    _fill(repo, "a")
+    _fill(repo, "b")
+    predictor = ResponseTimePredictor(repo, 2.0)
+    predictor.response_cdfs("a", 0.15)
+    predictor.response_cdfs("b", 0.15)
+    repo.record_broadcast(PerfBroadcast(replica="a", ts=0.02, tq=0.001, tb=0.1))
+    predictor.response_cdfs("a", 0.15)
+    predictor.response_cdfs("b", 0.15)  # b untouched: still a hit
+    assert predictor.cache_invalidations == 1
+    assert predictor.cache_hits == 2
+
+
+# ---------------------------------------------------------------------------
+# Exact equivalence with fresh recomputation
+# ---------------------------------------------------------------------------
+def test_cached_results_equal_uncached_exactly():
+    repo, cached, fresh = _paired_predictors()
+    _fill(repo)
+    for deadline in (0.05, 0.113, 0.150, 0.8):
+        assert cached.response_cdfs("r", deadline) == fresh.response_cdfs(
+            "r", deadline
+        )
+        assert cached.immediate_cdf("r", deadline) == fresh.immediate_cdf(
+            "r", deadline
+        )
+
+
+def test_quantum_mismatch_falls_back_to_samples():
+    """A predictor on a different grid than the repository's windows must
+    still agree with uncached recomputation (via the raw-sample path)."""
+    repo = ClientInfoRepository(window_size=8, quantum=1e-3)
+    _fill(repo)
+    cached = ResponseTimePredictor(repo, 2.0, quantum=5e-4, use_cache=True)
+    fresh = ResponseTimePredictor(repo, 2.0, quantum=5e-4, use_cache=False)
+    assert cached.response_cdfs("r", 0.15) == fresh.response_cdfs("r", 0.15)
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("broadcast"),
+            st.floats(min_value=0.0, max_value=0.3),  # ts
+            st.floats(min_value=0.0, max_value=0.05),  # tq
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.5)),  # tb
+        ),
+        st.tuples(st.just("reply"), st.floats(min_value=0.0, max_value=0.01)),
+        st.tuples(st.just("query"), st.floats(min_value=0.0, max_value=2.0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(ops=_ops)
+@settings(max_examples=60, deadline=None)
+def test_cache_equivalence_property(ops):
+    """Across arbitrary record/evict/query interleavings, the cached
+    predictor's CDFs are *exactly* equal to fresh recomputation."""
+    repo, cached, fresh = _paired_predictors()
+    now = 1.0
+    for op in ops:
+        if op[0] == "broadcast":
+            _, ts, tq, tb = op
+            repo.record_broadcast(PerfBroadcast(replica="r", ts=ts, tq=tq, tb=tb))
+        elif op[0] == "reply":
+            now += 1.0
+            repo.record_reply("r", tg=op[1], now=now)
+        else:
+            deadline = op[1]
+            assert cached.response_cdfs("r", deadline) == fresh.response_cdfs(
+                "r", deadline
+            )
+            assert cached.immediate_cdf("r", deadline) == fresh.immediate_cdf(
+                "r", deadline
+            )
+
+
+# ---------------------------------------------------------------------------
+# Wiring
+# ---------------------------------------------------------------------------
+def test_repository_propagates_quantum_to_windows():
+    repo = ClientInfoRepository(window_size=4, quantum=2e-3)
+    stats = repo.stats_for("x")
+    assert stats.ts_window.quantum == 2e-3
+    assert stats.tq_window.quantum == 2e-3
+    assert stats.tb_window.quantum == 2e-3
+    with pytest.raises(ValueError):
+        ClientInfoRepository(window_size=4, quantum=0.0)

@@ -36,6 +36,28 @@ def test_from_samples_empty_rejected():
         DiscretePmf.from_samples([], Q)
 
 
+def test_from_samples_accepts_any_iterable():
+    pmf = DiscretePmf.from_samples((s for s in [0.010, 0.020]), Q)
+    assert pmf.mean() == pytest.approx(0.015)
+
+
+def test_from_histogram_matches_from_samples():
+    samples = [0.010, 0.010, 0.020, 0.030]
+    fresh = DiscretePmf.from_samples(samples, Q)
+    counts = np.zeros(21)
+    counts[0], counts[10], counts[20] = 2.0, 1.0, 1.0  # bins 10, 20, 30
+    binned = DiscretePmf.from_histogram(Q, 10, counts)
+    assert binned.offset == fresh.offset
+    np.testing.assert_array_equal(binned.mass, fresh.mass)
+
+
+def test_from_histogram_validation():
+    with pytest.raises(ValueError):
+        DiscretePmf.from_histogram(Q, 0, [])
+    with pytest.raises(ValueError):
+        DiscretePmf.from_histogram(Q, -1, [1.0])
+
+
 def test_degenerate_point_mass():
     pmf = DiscretePmf.degenerate(0.005, Q)
     assert pmf.mean() == pytest.approx(0.005)
@@ -83,6 +105,33 @@ def test_quantile():
     assert pmf.quantile(1.0) == pytest.approx(0.040)
     with pytest.raises(ValueError):
         pmf.quantile(1.5)
+
+
+def test_cdf_many_matches_scalar_cdf():
+    pmf = DiscretePmf.from_samples([0.010, 0.010, 0.020, 0.030], Q)
+    xs = [-0.5, 0.0, 0.0099, 0.010, 0.015, 0.020, 0.030, 5.0]
+    batched = pmf.cdf_many(xs)
+    assert batched.tolist() == [pmf.cdf(x) for x in xs]
+
+
+def test_cdf_many_exact_bounds():
+    pmf = DiscretePmf.from_samples([0.010, 0.020], Q)
+    values = pmf.cdf_many([0.0, 100.0])
+    assert values[0] == 0.0
+    assert values[1] == 1.0  # exactly, like the scalar path
+
+
+def test_cdf_many_accepts_numpy_input():
+    pmf = DiscretePmf.degenerate(0.005, Q)
+    out = pmf.cdf_many(np.array([0.004, 0.005]))
+    assert out.tolist() == [0.0, 1.0]
+
+
+def test_repeated_cdf_calls_use_cached_cumulative():
+    pmf = DiscretePmf.from_samples([0.010, 0.020, 0.030], Q)
+    first = pmf.cdf(0.020)
+    assert pmf._cumulative() is pmf._cumulative()  # materialized once
+    assert pmf.cdf(0.020) == first
 
 
 # ---------------------------------------------------------------------------
@@ -202,3 +251,14 @@ def test_quantile_inverts_cdf(samples, q):
     pmf = DiscretePmf.from_samples(samples, Q)
     v = pmf.quantile(q)
     assert pmf.cdf(v) >= q - 1e-9
+
+
+@given(
+    samples=samples_strategy,
+    xs=st.lists(st.floats(min_value=-1.0, max_value=3.0), min_size=1, max_size=30),
+)
+@settings(max_examples=80)
+def test_cdf_many_identical_to_scalar_property(samples, xs):
+    """Batched evaluation must equal the scalar path element for element."""
+    pmf = DiscretePmf.from_samples(samples, Q)
+    assert pmf.cdf_many(xs).tolist() == [pmf.cdf(x) for x in xs]

@@ -1,10 +1,14 @@
 """Unit tests for sliding windows."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats.sliding_window import PairWindow, SlidingWindow
+from repro.stats.pmf import DiscretePmf
+from repro.stats.sliding_window import PairWindow, SlidingWindow, quantize_bin
+
+Q = 1e-3
 
 
 # ---------------------------------------------------------------------------
@@ -68,6 +72,77 @@ def test_window_keeps_most_recent_property(size, values):
 
 
 # ---------------------------------------------------------------------------
+# Versioning + incremental histogram (prediction-cache substrate)
+# ---------------------------------------------------------------------------
+def test_version_increments_on_record_and_clear():
+    window = SlidingWindow(2)
+    assert window.version == 0
+    window.record(1.0)
+    window.record(2.0)
+    window.record(3.0)  # eviction still bumps: contents changed
+    assert window.version == 3
+    window.clear()
+    assert window.version == 4
+
+
+def test_histogram_tracks_contents_incrementally():
+    window = SlidingWindow(3, quantum=Q)
+    window.extend([0.001, 0.001, 0.002, 0.003])  # first 1 ms sample evicted
+    offset, counts = window.histogram(Q)
+    assert offset == 1
+    assert counts.tolist() == [1.0, 1.0, 1.0]
+
+
+def test_histogram_collapses_bins_on_eviction():
+    window = SlidingWindow(2, quantum=Q)
+    window.extend([0.005, 0.001, 0.001])  # the 5 ms bin must disappear
+    offset, counts = window.histogram(Q)
+    assert offset == 1
+    assert counts.tolist() == [2.0]
+
+
+def test_histogram_empty_or_mismatched_quantum_returns_none():
+    window = SlidingWindow(3, quantum=Q)
+    assert window.histogram(Q) is None  # empty
+    window.record(0.001)
+    assert window.histogram(Q) is not None
+    assert window.histogram(1e-4) is None  # different grid
+
+
+def test_histogram_clamps_negative_samples():
+    window = SlidingWindow(3, quantum=Q)
+    window.extend([-0.5, 0.001])
+    offset, counts = window.histogram(Q)
+    assert offset == 0
+    assert counts.tolist() == [1.0, 1.0]
+
+
+def test_quantize_bin_matches_numpy_rint():
+    for value in (-1.0, 0.0, 0.0005, 0.0015, 0.0025, 0.9987, 123.456):
+        expected = int(np.rint(max(0.0, value) / Q))
+        assert quantize_bin(value, Q) == expected
+
+
+@given(
+    size=st.integers(min_value=1, max_value=10),
+    values=st.lists(
+        st.floats(min_value=-1.0, max_value=5.0), min_size=1, max_size=60
+    ),
+)
+@settings(max_examples=100)
+def test_histogram_pmf_identical_to_from_samples(size, values):
+    """The incremental histogram must reproduce §5.2's relative-frequency
+    pmf bit for bit across arbitrary record/evict interleavings."""
+    window = SlidingWindow(size, quantum=Q)
+    window.extend(values)
+    offset, counts = window.histogram(Q)
+    incremental = DiscretePmf.from_histogram(Q, offset, counts)
+    fresh = DiscretePmf.from_samples(window.samples(), Q)
+    assert incremental.offset == fresh.offset
+    assert np.array_equal(incremental.mass, fresh.mass)
+
+
+# ---------------------------------------------------------------------------
 # PairWindow (update-rate estimation, §5.4.1)
 # ---------------------------------------------------------------------------
 def test_pair_window_rate():
@@ -104,3 +179,49 @@ def test_pair_window_pairs_snapshot():
     window = PairWindow(3)
     window.record(1, 0.5)
     assert window.pairs() == [(1, 0.5)]
+
+
+def test_pair_window_version_increments():
+    window = PairWindow(2)
+    assert window.version == 0
+    window.record(1, 1.0)
+    window.record(1, 1.0)
+    window.record(1, 1.0)  # eviction
+    assert window.version == 3
+
+
+def test_pair_window_rate_exact_zero_after_zero_durations():
+    window = PairWindow(2)
+    window.record(3, 0.0)
+    window.record(4, 0.0)
+    window.record(5, 0.0)
+    assert window.rate(default=9.0) == 9.0
+
+
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            # Zero or >= 1 ms: realistic durations, so incremental
+            # add/subtract cannot hit catastrophic cancellation.
+            st.one_of(
+                st.just(0.0), st.floats(min_value=1e-3, max_value=1e4)
+            ),
+        ),
+        max_size=60,
+    ),
+)
+@settings(max_examples=80)
+def test_pair_window_running_sums_match_recompute(size, pairs):
+    """O(1) rate() must agree with re-summing the visible window."""
+    window = PairWindow(size)
+    for count, duration in pairs:
+        window.record(count, duration)
+    visible = window.pairs()
+    total_time = sum(t for _, t in visible)
+    if total_time <= 0:
+        assert window.rate(default=-1.0) == -1.0
+    else:
+        expected = sum(c for c, _ in visible) / total_time
+        assert window.rate() == pytest.approx(expected, rel=1e-9, abs=1e-12)
