@@ -1,0 +1,131 @@
+"""Simulation-kernel and parallel-runner benchmarks (ISSUE 2).
+
+Two measurements:
+
+* event throughput of the kernel under a realistic schedule/cancel/run
+  mix — the regime the tombstone compaction and event free list target
+  (deadline timers that are nearly always cancelled before firing);
+* wall-clock of the quick Figure 4 sweep, serial vs. fanned out over the
+  parallel experiment runner, appended to ``benchmarks/results.txt``.
+
+Run: ``pytest benchmarks/test_bench_kernel.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.report import format_table
+from repro.sim.kernel import Simulator
+
+QUICK_SWEEP = dict(
+    deadlines_ms=(100, 160, 220),
+    probabilities=(0.9, 0.5),
+    lazy_intervals=(2.0, 4.0),
+    total_requests=200,
+)
+
+
+def _timed_pedantic(benchmark, fn, *, args=(), rounds=1):
+    """Run via benchmark.pedantic, returning (result, mean_seconds).
+
+    Falls back to wall-clock timing when stats are absent
+    (``--benchmark-disable`` runs the function once without timing it).
+    """
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, rounds=rounds, iterations=1)
+    elapsed = time.perf_counter() - t0
+    if benchmark.stats is not None:
+        return result, benchmark.stats.stats.mean
+    return result, elapsed / rounds
+
+
+# ---------------------------------------------------------------------------
+# Kernel event throughput
+# ---------------------------------------------------------------------------
+def _timer_mix(events: int, cancel_every: int = 10) -> Simulator:
+    """Schedule ``events`` timers, cancel all but every ``cancel_every``-th
+    (the deadline-timer pattern: most are cancelled by an earlier reply),
+    then run to idle."""
+    sim = Simulator()
+    survivors = 0
+    for i in range(events):
+        event = sim.schedule(1.0 + (i % 1000) * 1e-4, _noop)
+        if i % cancel_every:
+            event.cancel()
+        else:
+            survivors += 1
+    sim.run()
+    assert sim.events_processed == survivors
+    return sim
+
+
+def _noop() -> None:
+    return None
+
+
+def _fire_all(events: int) -> Simulator:
+    """Pure schedule+fire mix (no cancels): free-list reuse dominates."""
+    sim = Simulator()
+    for i in range(events):
+        sim.schedule(1.0 + (i % 1000) * 1e-4, _noop)
+    sim.run()
+    assert sim.events_processed == events
+    return sim
+
+
+@pytest.mark.benchmark(group="kernel-throughput")
+def test_kernel_timer_mix_throughput(benchmark, report):
+    events = 50_000
+    sim, mean_s = _timed_pedantic(benchmark, _timer_mix, args=(events,), rounds=3)
+    per_sec = events / mean_s
+    report(
+        f"kernel timer mix (90% cancelled): {per_sec:,.0f} scheduled events/s, "
+        f"{sim.compactions} compactions, final heap {sim.heap_size()}"
+    )
+    assert sim.compactions > 0  # the tombstone path actually exercised
+
+
+@pytest.mark.benchmark(group="kernel-throughput")
+def test_kernel_fire_throughput(benchmark, report):
+    events = 50_000
+    _, mean_s = _timed_pedantic(benchmark, _fire_all, args=(events,), rounds=3)
+    per_sec = events / mean_s
+    report(f"kernel schedule+fire: {per_sec:,.0f} events/s")
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel sweep wall-clock
+# ---------------------------------------------------------------------------
+@pytest.mark.benchmark(group="kernel-parallel-sweep")
+def test_quick_sweep_serial_vs_parallel(benchmark, report):
+    """Quick Figure 4 grid, --jobs 1 vs --jobs <cores>: same cells, the
+    wall-clock ratio is the runner's speedup on this machine."""
+    jobs = min(4, os.cpu_count() or 1)
+
+    t0 = time.perf_counter()
+    serial = run_figure4(jobs=1, **QUICK_SWEEP)
+    serial_s = time.perf_counter() - t0
+
+    def parallel_sweep():
+        return run_figure4(jobs=jobs, **QUICK_SWEEP)
+
+    parallel, parallel_s = _timed_pedantic(benchmark, parallel_sweep)
+
+    assert serial.cells == parallel.cells  # identical results, any jobs value
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    report("")
+    report(
+        format_table(
+            ["cells", "jobs", "serial_s", "parallel_s", "speedup"],
+            [(len(serial.cells), jobs, f"{serial_s:.2f}",
+              f"{parallel_s:.2f}", f"{speedup:.2f}x")],
+            title="Quick Figure 4 sweep — serial vs parallel runner",
+        )
+    )
+    if jobs >= 4:
+        assert speedup >= 2.5, f"expected >=2.5x on {jobs} workers, got {speedup:.2f}x"

@@ -27,25 +27,31 @@ def _cmd_figure3(args: argparse.Namespace) -> None:
     figure3.main(argv)
 
 
+def _jobs_argv(args: argparse.Namespace) -> list[str]:
+    return ["--jobs", str(args.jobs)] if args.jobs != 1 else []
+
+
 def _cmd_figure4(args: argparse.Namespace) -> None:
     from repro.experiments import figure4
 
     argv = ["--quick"] if args.quick else []
     if args.save:
         argv += ["--save", args.save]
-    figure4.main(argv)
+    figure4.main(argv + _jobs_argv(args))
 
 
 def _cmd_ablations(args: argparse.Namespace) -> None:
     from repro.experiments import ablations
 
-    ablations.main(["--quick"] if args.quick else [])
+    argv = ["--quick"] if args.quick else []
+    ablations.main(argv + _jobs_argv(args))
 
 
 def _cmd_validation(args: argparse.Namespace) -> None:
     from repro.experiments import validation
 
-    validation.main(["--quick"] if args.quick else [])
+    argv = ["--quick"] if args.quick else []
+    validation.main(argv + _jobs_argv(args))
 
 
 def _cmd_info(args: argparse.Namespace) -> None:
@@ -85,17 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
     p3.add_argument("--save", metavar="PATH", help="write results as JSON")
     p3.set_defaults(func=_cmd_figure3)
 
+    jobs_help = "worker processes for independent cells (0 = all cores)"
+
     p4 = sub.add_parser("figure4", help="adaptivity sweep (Figure 4)")
     p4.add_argument("--quick", action="store_true")
     p4.add_argument("--save", metavar="PATH", help="write results as JSON")
+    p4.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
     p4.set_defaults(func=_cmd_figure4)
 
     pa = sub.add_parser("ablations", help="A1-A9 parameter studies")
     pa.add_argument("--quick", action="store_true")
+    pa.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
     pa.set_defaults(func=_cmd_ablations)
 
     pv = sub.add_parser("validation", help="model calibration + hot spots")
     pv.add_argument("--quick", action="store_true")
+    pv.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
     pv.set_defaults(func=_cmd_validation)
 
     pi = sub.add_parser("info", help="reproduction summary")

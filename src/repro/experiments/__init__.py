@@ -33,6 +33,12 @@ from repro.experiments.report import (
     load_results,
     save_results,
 )
+from repro.experiments.runner import (
+    CellSpec,
+    SweepProgress,
+    resolve_jobs,
+    run_cells,
+)
 
 __all__ = [
     "Figure4Cell",
@@ -47,4 +53,8 @@ __all__ = [
     "format_table",
     "load_results",
     "save_results",
+    "CellSpec",
+    "SweepProgress",
+    "resolve_jobs",
+    "run_cells",
 ]

@@ -16,7 +16,9 @@ request delay"; DESIGN.md indexes these as A1–A9:
 * A9 ``deferral_model_study`` — Eq. 3's independent deferred term vs. the
   correlation-aware variant, out of the paper's regime (DESIGN.md §5a).
 
-Run: ``python -m repro.experiments.ablations [--quick]``
+Run: ``python -m repro.experiments.ablations [--quick] [--jobs N]``
+(``--jobs`` fans the independent cells of each study across worker
+processes; the tables are identical for any jobs value).
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from repro.baselines.strategies import (
 from repro.core.selection import SelectionStrategy, StateBasedSelection
 from repro.experiments.harness import Figure4Cell, run_figure4_cell
 from repro.experiments.report import format_table
+from repro.experiments.runner import CellSpec, add_jobs_argument, run_cells
 from repro.workloads.scenarios import build_paper_scenario
 
 
@@ -70,20 +73,26 @@ def lui_sweep(
     min_probability: float = 0.9,
     total_requests: int = 400,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> list[AblationRow]:
     """Longer LUI ⇒ staler secondaries ⇒ more deferred reads and more
     replicas needed (§6.1's second observation, extended)."""
-    rows = []
-    for lui in luis:
-        cell = run_figure4_cell(
-            deadline=deadline,
-            min_probability=min_probability,
-            lazy_update_interval=lui,
-            total_requests=total_requests,
-            seed=seed,
+    specs = [
+        CellSpec(
+            key=f"LUI={lui:g}s",
+            fn=run_figure4_cell,
+            kwargs=dict(
+                deadline=deadline,
+                min_probability=min_probability,
+                lazy_update_interval=lui,
+                total_requests=total_requests,
+                seed=seed,
+            ),
         )
-        rows.append(_row(f"LUI={lui:g}s", cell))
-    return rows
+        for lui in luis
+    ]
+    cells = run_cells(specs, jobs=jobs, label="A1-lui")
+    return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
 # ---------------------------------------------------------------------------
@@ -95,60 +104,87 @@ def request_delay_sweep(
     min_probability: float = 0.9,
     total_requests: int = 400,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> list[AblationRow]:
     """Shorter request delay ⇒ higher update arrival rate λ_u ⇒ staler
     secondaries between lazy updates ⇒ more deferrals."""
-    rows = []
-    for delay in delays:
-        cell = run_figure4_cell(
-            deadline=deadline,
-            min_probability=min_probability,
-            lazy_update_interval=2.0,
-            total_requests=total_requests,
-            seed=seed,
-            request_delay=delay,
+    specs = [
+        CellSpec(
+            key=f"request_delay={delay:g}s",
+            fn=run_figure4_cell,
+            kwargs=dict(
+                deadline=deadline,
+                min_probability=min_probability,
+                lazy_update_interval=2.0,
+                total_requests=total_requests,
+                seed=seed,
+                request_delay=delay,
+            ),
         )
-        rows.append(_row(f"request_delay={delay:g}s", cell))
-    return rows
+        for delay in delays
+    ]
+    cells = run_cells(specs, jobs=jobs, label="A2-delay")
+    return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
 # ---------------------------------------------------------------------------
 # A3: sliding window size
 # ---------------------------------------------------------------------------
+def _window_cell(
+    window: int,
+    deadline: float,
+    min_probability: float,
+    total_requests: int,
+    seed: int,
+) -> AblationRow:
+    """One window-size configuration (module-level so cells can pickle)."""
+    scenario = build_paper_scenario(
+        deadline=deadline,
+        min_probability=min_probability,
+        lazy_update_interval=2.0,
+        total_requests=total_requests,
+        seed=seed,
+        window_size=window,
+    )
+    scenario.run()
+    client2 = scenario.client2
+    return AblationRow(
+        label=f"window={window}",
+        avg_replicas_selected=client2.average_replicas_selected(),
+        timing_failure_probability=client2.timing_failure_probability(),
+        deferred_fraction=client2.deferred_fraction(),
+        mean_response_time_ms=client2.mean_response_time() * 1000,
+        meets_qos=client2.timing_failure_probability()
+        <= 1.0 - min_probability + 1e-9,
+    )
+
+
 def window_sweep(
     windows: Sequence[int] = (5, 10, 20, 40),
     deadline: float = 0.160,
     min_probability: float = 0.9,
     total_requests: int = 400,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> list[AblationRow]:
     """Window size trades prediction freshness against noise (§5.2: chosen
     "to include a reasonable number of recently measured values, while
     eliminating obsolete measurements")."""
-    rows = []
-    for window in windows:
-        scenario = build_paper_scenario(
-            deadline=deadline,
-            min_probability=min_probability,
-            lazy_update_interval=2.0,
-            total_requests=total_requests,
-            seed=seed,
-            window_size=window,
+    specs = [
+        CellSpec(
+            key=f"window={window}",
+            fn=_window_cell,
+            kwargs=dict(
+                window=window,
+                deadline=deadline,
+                min_probability=min_probability,
+                total_requests=total_requests,
+                seed=seed,
+            ),
         )
-        scenario.run()
-        client2 = scenario.client2
-        rows.append(
-            AblationRow(
-                label=f"window={window}",
-                avg_replicas_selected=client2.average_replicas_selected(),
-                timing_failure_probability=client2.timing_failure_probability(),
-                deferred_fraction=client2.deferred_fraction(),
-                mean_response_time_ms=client2.mean_response_time() * 1000,
-                meets_qos=client2.timing_failure_probability()
-                <= 1.0 - min_probability + 1e-9,
-            )
-        )
-    return rows
+        for window in windows
+    ]
+    return run_cells(specs, jobs=jobs, label="A3-window")
 
 
 # ---------------------------------------------------------------------------
@@ -161,23 +197,29 @@ def staleness_sweep(
     lazy_update_interval: float = 4.0,
     total_requests: int = 400,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> list[AblationRow]:
     """§6.1: "when the client specifies a staleness threshold that is much
     smaller than the lazy update interval, fewer replicas are available to
     respond immediately" — relaxing the threshold should monotonically cut
     deferrals and timing failures."""
-    rows = []
-    for threshold in thresholds:
-        cell = run_figure4_cell(
-            deadline=deadline,
-            min_probability=min_probability,
-            lazy_update_interval=lazy_update_interval,
-            total_requests=total_requests,
-            seed=seed,
-            staleness_threshold=threshold,
+    specs = [
+        CellSpec(
+            key=f"a={threshold}",
+            fn=run_figure4_cell,
+            kwargs=dict(
+                deadline=deadline,
+                min_probability=min_probability,
+                lazy_update_interval=lazy_update_interval,
+                total_requests=total_requests,
+                seed=seed,
+                staleness_threshold=threshold,
+            ),
         )
-        rows.append(_row(f"a={threshold}", cell))
-    return rows
+        for threshold in thresholds
+    ]
+    cells = run_cells(specs, jobs=jobs, label="A4-staleness")
+    return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
 # ---------------------------------------------------------------------------
@@ -200,21 +242,27 @@ def baseline_comparison(
     lazy_update_interval: float = 2.0,
     total_requests: int = 400,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> list[AblationRow]:
     """Algorithm 1 should match all-replicas' failure rate at a fraction of
     its replica usage, and beat the single-replica policies on failures."""
-    rows = []
-    for label, factory in baseline_strategies().items():
-        cell = run_figure4_cell(
-            deadline=deadline,
-            min_probability=min_probability,
-            lazy_update_interval=lazy_update_interval,
-            total_requests=total_requests,
-            seed=seed,
-            strategy2=factory(),
+    specs = [
+        CellSpec(
+            key=label,
+            fn=run_figure4_cell,
+            kwargs=dict(
+                deadline=deadline,
+                min_probability=min_probability,
+                lazy_update_interval=lazy_update_interval,
+                total_requests=total_requests,
+                seed=seed,
+                strategy2=factory(),
+            ),
         )
-        rows.append(_row(label, cell))
-    return rows
+        for label, factory in baseline_strategies().items()
+    ]
+    cells = run_cells(specs, jobs=jobs, label="A5-baselines")
+    return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
 # ---------------------------------------------------------------------------
@@ -555,20 +603,38 @@ def _render_rows(title: str, rows: list[AblationRow]) -> str:
 def main(argv: Optional[list[str]] = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     quick = "--quick" in argv
+    jobs = add_jobs_argument(argv)
     n = 150 if quick else 400
-    print(_render_rows("A1 — lazy update interval", lui_sweep(total_requests=n)))
+    print(_render_rows(
+        "A1 — lazy update interval", lui_sweep(total_requests=n, jobs=jobs)
+    ))
     print()
-    print(_render_rows("A2 — request delay", request_delay_sweep(total_requests=n)))
+    print(_render_rows(
+        "A2 — request delay", request_delay_sweep(total_requests=n, jobs=jobs)
+    ))
     print()
-    print(_render_rows("A3 — sliding window size", window_sweep(total_requests=n)))
+    print(_render_rows(
+        "A3 — sliding window size", window_sweep(total_requests=n, jobs=jobs)
+    ))
     print()
-    print(_render_rows("A4 — staleness threshold", staleness_sweep(total_requests=n)))
+    print(_render_rows(
+        "A4 — staleness threshold", staleness_sweep(total_requests=n, jobs=jobs)
+    ))
     print()
-    print(_render_rows("A5 — selection strategies", baseline_comparison(total_requests=n)))
+    print(_render_rows(
+        "A5 — selection strategies", baseline_comparison(total_requests=n, jobs=jobs)
+    ))
     print()
+    crash_specs = [
+        CellSpec(
+            key=crash,
+            fn=failover_study,
+            kwargs=dict(crash=crash, total_requests=100 if quick else 300),
+        )
+        for crash in ("sequencer", "publisher", "secondary")
+    ]
     rows = []
-    for crash in ("sequencer", "publisher", "secondary"):
-        res = failover_study(crash, total_requests=100 if quick else 300)
+    for res in run_cells(crash_specs, jobs=jobs, label="A6-failover"):
         rows.append(
             (
                 res.label,

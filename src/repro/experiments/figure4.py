@@ -14,7 +14,8 @@ with the deadline; the longer LUI gives more deferred reads and therefore
 more timing failures.
 
 Run: ``python -m repro.experiments.figure4`` (add ``--quick`` for a
-shorter sweep).
+shorter sweep, ``--jobs N`` to fan the independent cells out over N
+worker processes; results are identical for any jobs value).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from typing import Optional, Sequence
 from repro.core.selection import SelectionStrategy
 from repro.experiments.harness import Figure4Cell, run_figure4_cell
 from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import CellSpec, add_jobs_argument, run_cells
 
 DEADLINES_MS = (80, 100, 120, 140, 160, 180, 200, 220)
 PROBABILITIES = (0.9, 0.5)
@@ -79,21 +81,37 @@ def run_figure4(
     seed: int = 0,
     staleness_threshold: int = 2,
     strategy2: Optional[SelectionStrategy] = None,
+    jobs: Optional[int] = 1,
+    progress: bool = False,
 ) -> Figure4Result:
+    """Run the full sweep, optionally fanned out over ``jobs`` processes.
+
+    Every cell is an independent simulation seeded from ``seed`` alone,
+    so the grid parallelizes freely; ``jobs=1`` preserves the historical
+    serial loop bit for bit.
+    """
+    specs = [
+        CellSpec(
+            key=(probability, lui, deadline_ms),
+            fn=run_figure4_cell,
+            kwargs=dict(
+                deadline=deadline_ms / 1000.0,
+                min_probability=probability,
+                lazy_update_interval=lui,
+                total_requests=total_requests,
+                seed=seed,
+                staleness_threshold=staleness_threshold,
+                strategy2=strategy2,
+            ),
+        )
+        for probability in probabilities
+        for lui in lazy_intervals
+        for deadline_ms in deadlines_ms
+    ]
+    cells = run_cells(specs, jobs=jobs, progress=progress, label="figure4")
     result = Figure4Result()
-    for probability in probabilities:
-        for lui in lazy_intervals:
-            for deadline_ms in deadlines_ms:
-                cell = run_figure4_cell(
-                    deadline=deadline_ms / 1000.0,
-                    min_probability=probability,
-                    lazy_update_interval=lui,
-                    total_requests=total_requests,
-                    seed=seed,
-                    staleness_threshold=staleness_threshold,
-                    strategy2=strategy2,
-                )
-                result.cells[(probability, lui, deadline_ms)] = cell
+    for spec, cell in zip(specs, cells):
+        result.cells[spec.key] = cell
     return result
 
 
@@ -153,9 +171,12 @@ def render(result: Figure4Result) -> str:
 def main(argv: Optional[list[str]] = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     quick = "--quick" in argv
+    jobs = add_jobs_argument(argv)
     result = run_figure4(
         deadlines_ms=(100, 160, 220) if quick else DEADLINES_MS,
         total_requests=200 if quick else 1000,
+        jobs=jobs,
+        progress=jobs != 1,
     )
     print(render(result))
     if "--save" in argv:

@@ -19,7 +19,8 @@ Two studies the paper's evaluation implies but does not plot:
   same workload with and without the decreasing-``ert`` visiting order
   and comparing the imbalance of reads served across replicas.
 
-Run: ``python -m repro.experiments.validation``
+Run: ``python -m repro.experiments.validation [--quick] [--jobs N]``
+(``--jobs`` runs the independent studies across worker processes).
 """
 
 from __future__ import annotations
@@ -37,6 +38,7 @@ from repro.core.staleness import (
     StalenessModel,
 )
 from repro.experiments.report import format_table
+from repro.experiments.runner import CellSpec, add_jobs_argument, run_cells
 from repro.sim.rng import Normal
 from repro.workloads.generators import BurstyUpdater, OpenLoopUpdater, PeriodicReader
 
@@ -170,38 +172,52 @@ class HotspotValidationResult:
         return self._imbalance(self.without_ert_reads)
 
 
+def _hotspot_cell(
+    avoid: bool, reads: int, deadline: float, seed: int
+) -> dict[str, int]:
+    """One hot-spot workload (module-level so cells can pickle)."""
+    config = ServiceConfig(
+        name="svc",
+        num_primaries=2,
+        num_secondaries=6,
+        lazy_update_interval=2.0,
+        read_service_time=Normal(0.050, 0.010, floor=0.002),
+    )
+    testbed = build_testbed(config, seed=seed)
+    service = testbed.service
+    client = service.create_client(
+        "c",
+        read_only_methods={"get"},
+        strategy=StateBasedSelection(hot_spot_avoidance=avoid),
+    )
+    qos = QoSSpec(staleness_threshold=50, deadline=deadline,
+                  min_probability=0.9)
+    PeriodicReader(testbed.sim, client, qos, period=0.2, count=reads)
+    testbed.sim.run(until=reads * 0.2 + 30.0)
+    return {
+        r.name: r.reads_served
+        for r in service.primaries + service.secondaries
+    }
+
+
 def run_hotspot_validation(
     reads: int = 300,
     deadline: float = 0.200,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> HotspotValidationResult:
     """Same workload twice: Algorithm 1 vs. the cdf-greedy variant."""
-    results = {}
-    for avoid in (True, False):
-        config = ServiceConfig(
-            name="svc",
-            num_primaries=2,
-            num_secondaries=6,
-            lazy_update_interval=2.0,
-            read_service_time=Normal(0.050, 0.010, floor=0.002),
+    specs = [
+        CellSpec(
+            key=avoid,
+            fn=_hotspot_cell,
+            kwargs=dict(avoid=avoid, reads=reads, deadline=deadline, seed=seed),
         )
-        testbed = build_testbed(config, seed=seed)
-        service = testbed.service
-        client = service.create_client(
-            "c",
-            read_only_methods={"get"},
-            strategy=StateBasedSelection(hot_spot_avoidance=avoid),
-        )
-        qos = QoSSpec(staleness_threshold=50, deadline=deadline,
-                      min_probability=0.9)
-        PeriodicReader(testbed.sim, client, qos, period=0.2, count=reads)
-        testbed.sim.run(until=reads * 0.2 + 30.0)
-        results[avoid] = {
-            r.name: r.reads_served
-            for r in service.primaries + service.secondaries
-        }
+        for avoid in (True, False)
+    ]
+    with_ert, without_ert = run_cells(specs, jobs=jobs, label="hotspot")
     return HotspotValidationResult(
-        with_ert_reads=results[True], without_ert_reads=results[False]
+        with_ert_reads=with_ert, without_ert_reads=without_ert
     )
 
 
@@ -216,30 +232,38 @@ def render_staleness(title: str, rows: list[StalenessValidationRow]) -> str:
     )
 
 
+def _staleness_cell(
+    duration: float, bursty: bool, model: Optional[str]
+) -> list[StalenessValidationRow]:
+    """One calibration study; the model is named so the spec pickles."""
+    staleness_model = RateMixtureStalenessModel() if model == "rate-mixture" else None
+    return run_staleness_validation(
+        duration=duration, bursty=bursty, staleness_model=staleness_model
+    )
+
+
 def main(argv: Optional[list[str]] = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     quick = "--quick" in argv
+    jobs = add_jobs_argument(argv)
     duration = 120.0 if quick else 240.0
 
-    print(render_staleness(
-        "Staleness model calibration — Poisson arrivals, Poisson model (Eq. 4)",
-        run_staleness_validation(duration=duration),
-    ))
-    print()
-    print(render_staleness(
-        "Staleness model calibration — bursty arrivals, Poisson model",
-        run_staleness_validation(duration=duration, bursty=True),
-    ))
-    print()
-    print(render_staleness(
-        "Staleness model calibration — bursty arrivals, rate-mixture model",
-        run_staleness_validation(
-            duration=duration, bursty=True,
-            staleness_model=RateMixtureStalenessModel(),
-        ),
-    ))
-    print()
-    hotspot = run_hotspot_validation(reads=150 if quick else 300)
+    studies = [
+        ("Staleness model calibration — Poisson arrivals, Poisson model (Eq. 4)",
+         dict(duration=duration, bursty=False, model=None)),
+        ("Staleness model calibration — bursty arrivals, Poisson model",
+         dict(duration=duration, bursty=True, model=None)),
+        ("Staleness model calibration — bursty arrivals, rate-mixture model",
+         dict(duration=duration, bursty=True, model="rate-mixture")),
+    ]
+    specs = [
+        CellSpec(key=title, fn=_staleness_cell, kwargs=kwargs)
+        for title, kwargs in studies
+    ]
+    for spec, rows in zip(specs, run_cells(specs, jobs=jobs, label="staleness")):
+        print(render_staleness(spec.key, rows))
+        print()
+    hotspot = run_hotspot_validation(reads=150 if quick else 300, jobs=jobs)
     print(format_table(
         ["strategy", "max/mean reads", "per-replica reads"],
         [

@@ -42,6 +42,20 @@ class RngRegistry:
         return RngRegistry(int.from_bytes(digest[:8], "big"))
 
 
+def seed_for(root_seed: int, *key_parts: object) -> int:
+    """Derive a deterministic 64-bit seed for one cell of a sweep.
+
+    The same hash family as :meth:`RngRegistry.spawn`: independent of
+    execution order and process boundaries, so a parallel experiment
+    runner hands every cell the exact seed the serial loop would have
+    derived.  ``key_parts`` are joined by their ``repr`` — use stable,
+    primitive keys (strings, ints, floats).
+    """
+    key = ":".join(repr(part) for part in key_parts)
+    digest = hashlib.sha256(f"{int(root_seed)}:cell:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class Distribution:
     """A non-negative duration distribution sampled with an explicit stream."""
 

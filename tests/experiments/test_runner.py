@@ -1,0 +1,160 @@
+"""Tests for the parallel experiment runner (ISSUE 2 tentpole).
+
+The load-bearing property is *serial equivalence*: any sweep must produce
+identical results for any ``jobs`` value, because cells are independent
+simulations whose seeds are data carried in the spec, not a function of
+execution order.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.runner import (
+    CellSpec,
+    SweepProgress,
+    add_jobs_argument,
+    resolve_jobs,
+    run_cells,
+)
+from repro.sim.rng import RngRegistry, seed_for
+
+
+# Workers must be module-level so specs pickle across process boundaries.
+def _square(x):
+    return x * x
+
+
+def _seeded_stream_head(seed, name):
+    return RngRegistry(seed).stream(name).random()
+
+
+def _boom(x):
+    raise RuntimeError(f"cell {x} exploded")
+
+
+# ---------------------------------------------------------------------------
+# CellSpec / run_cells basics
+# ---------------------------------------------------------------------------
+def test_cellspec_runs_function_with_kwargs():
+    spec = CellSpec(key="k", fn=_square, kwargs={"x": 7})
+    assert spec.run() == 49
+
+
+def test_run_cells_serial_preserves_order():
+    specs = [CellSpec(key=i, fn=_square, kwargs={"x": i}) for i in range(10)]
+    assert run_cells(specs, jobs=1) == [i * i for i in range(10)]
+
+
+def test_run_cells_parallel_preserves_order():
+    specs = [CellSpec(key=i, fn=_square, kwargs={"x": i}) for i in range(10)]
+    assert run_cells(specs, jobs=3) == [i * i for i in range(10)]
+
+
+def test_run_cells_parallel_matches_serial_with_seeded_cells():
+    specs = [
+        CellSpec(key=i, fn=_seeded_stream_head,
+                 kwargs={"seed": seed_for(0, i), "name": "s"})
+        for i in range(8)
+    ]
+    assert run_cells(specs, jobs=1) == run_cells(specs, jobs=4)
+
+
+def test_run_cells_empty():
+    assert run_cells([], jobs=4) == []
+
+
+def test_run_cells_serial_exception_propagates():
+    specs = [CellSpec(key=0, fn=_boom, kwargs={"x": 0})]
+    with pytest.raises(RuntimeError, match="cell 0 exploded"):
+        run_cells(specs, jobs=1)
+
+
+def test_run_cells_parallel_exception_propagates():
+    specs = [CellSpec(key=i, fn=_boom, kwargs={"x": i}) for i in range(3)]
+    with pytest.raises(RuntimeError, match="exploded"):
+        run_cells(specs, jobs=2)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(5) == 5
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# --jobs flag parsing
+# ---------------------------------------------------------------------------
+def test_add_jobs_argument_forms():
+    assert add_jobs_argument([]) == 1
+    assert add_jobs_argument(["--quick"]) == 1
+    assert add_jobs_argument(["--jobs", "4"]) == 4
+    assert add_jobs_argument(["--jobs=8", "--quick"]) == 8
+    assert add_jobs_argument(["--quick", "--jobs", "0"]) == 0
+
+
+def test_add_jobs_argument_missing_value():
+    with pytest.raises(SystemExit):
+        add_jobs_argument(["--jobs"])
+
+
+# ---------------------------------------------------------------------------
+# Progress / ETA reporting
+# ---------------------------------------------------------------------------
+def test_sweep_progress_writes_eta_line():
+    stream = io.StringIO()
+    progress = SweepProgress(4, label="demo", enabled=True, stream=stream)
+    progress.update()
+    progress.update()
+    elapsed = progress.finish()
+    out = stream.getvalue()
+    assert "[demo] 2/4 cells" in out
+    assert "eta" in out
+    assert elapsed >= 0.0
+
+
+def test_sweep_progress_disabled_is_silent():
+    stream = io.StringIO()
+    progress = SweepProgress(4, enabled=False, stream=stream)
+    progress.update()
+    progress.finish()
+    assert stream.getvalue() == ""
+
+
+# ---------------------------------------------------------------------------
+# Deterministic seed derivation
+# ---------------------------------------------------------------------------
+def test_seed_for_is_deterministic_and_key_sensitive():
+    assert seed_for(0, "a", 1) == seed_for(0, "a", 1)
+    assert seed_for(0, "a", 1) != seed_for(0, "a", 2)
+    assert seed_for(0, "a", 1) != seed_for(1, "a", 1)
+    assert seed_for(0, 0.9, 2.0, 100) != seed_for(0, 0.5, 2.0, 100)
+
+
+def test_seed_for_independent_of_evaluation_order():
+    keys = [(p, lui, d) for p in (0.9, 0.5) for lui in (2.0,) for d in (100, 160)]
+    forward = [seed_for(7, *key) for key in keys]
+    backward = [seed_for(7, *key) for key in reversed(keys)]
+    assert forward == list(reversed(backward))
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 end-to-end: jobs=1 and jobs=4 are identical (ISSUE 2 property)
+# ---------------------------------------------------------------------------
+def test_run_figure4_parallel_identical_to_serial():
+    kwargs = dict(
+        deadlines_ms=(100, 160),
+        probabilities=(0.9, 0.5),
+        lazy_intervals=(2.0,),
+        total_requests=25,
+        seed=3,
+    )
+    serial = run_figure4(jobs=1, **kwargs)
+    parallel = run_figure4(jobs=4, **kwargs)
+    assert serial.cells.keys() == parallel.cells.keys()
+    for key, cell in serial.cells.items():
+        assert parallel.cells[key] == cell, f"cell {key} diverged across jobs"

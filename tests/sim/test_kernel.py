@@ -177,3 +177,89 @@ def test_zero_delay_event_fires_at_current_time(sim, recorder):
     sim.schedule(0.0, lambda: recorder(sim.now))
     sim.run()
     assert recorder.calls == [0.0]
+
+
+# ---------------------------------------------------------------------------
+# Tombstone compaction and event recycling
+# ---------------------------------------------------------------------------
+def test_mass_cancel_does_not_grow_heap_unboundedly(sim):
+    """Timer-heavy regression: cancelled events must not linger in the heap
+    until popped (the pre-compaction kernel kept every tombstone)."""
+    total = 20_000
+    for i in range(total):
+        event = sim.schedule(1.0 + i * 1e-6, lambda: None)
+        event.cancel()
+    assert sim.compactions > 0
+    assert sim.heap_size() < total // 4
+    assert sim.pending() == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_mass_cancel_interleaved_with_live_timers(sim, recorder):
+    """Cancel 99% of timers; the survivors still fire in order."""
+    kept = []
+    for i in range(5_000):
+        event = sim.schedule(1.0 + i * 1e-4, recorder, i)
+        if i % 100 != 0:
+            event.cancel()
+        else:
+            kept.append(i)
+    assert sim.heap_size() < 5_000
+    sim.run()
+    assert recorder.calls == kept
+    assert sim.tombstones == 0
+
+
+def test_pending_accounts_for_tombstones_after_compaction(sim):
+    events = [sim.schedule(1.0, lambda: None) for _ in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    assert sim.pending() == 50
+
+
+def test_compaction_preserves_ordering_and_determinism():
+    """Two identical schedules — one with enough cancels to compact —
+    fire the surviving callbacks at identical (time, order) points."""
+    from repro.sim.kernel import Simulator
+
+    def trace(mass_cancel: bool) -> list[tuple[float, int]]:
+        sim = Simulator()
+        calls: list[tuple[float, int]] = []
+        live = [
+            sim.schedule(0.5 + i * 0.01, lambda i=i: calls.append((sim.now, i)))
+            for i in range(50)
+        ]
+        if mass_cancel:
+            doomed = [sim.schedule(2.0, lambda: None) for _ in range(1_000)]
+            for event in doomed:
+                event.cancel()
+        del live
+        sim.run()
+        return calls
+
+    assert trace(mass_cancel=True) == trace(mass_cancel=False)
+
+
+def test_recycled_event_not_cancellable_through_stale_reference(sim, recorder):
+    """A handle kept by a client must never alias a recycled event: firing
+    the original and cancelling it afterwards is a safe no-op."""
+    held = sim.schedule(1.0, recorder, "held")
+    sim.schedule(2.0, recorder, "later")
+    sim.run(until=1.5)
+    held.cancel()  # fired already; must not kill any newly scheduled event
+    follow = sim.schedule(1.0, recorder, "follow")
+    assert follow is not held or follow.cancelled is False
+    sim.run()
+    assert recorder.calls == ["held", "later", "follow"]
+
+
+def test_free_list_reuses_unreferenced_events(sim):
+    """Events nobody holds are recycled instead of reallocated."""
+    for i in range(100):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    first = sim.schedule(1000.0, lambda: None)
+    assert isinstance(first.seq, int)  # reinitialized, valid event
+    sim.run()
+    assert sim.events_processed == 101

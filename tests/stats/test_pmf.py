@@ -262,3 +262,69 @@ def test_cdf_many_identical_to_scalar_property(samples, xs):
     """Batched evaluation must equal the scalar path element for element."""
     pmf = DiscretePmf.from_samples(samples, Q)
     assert pmf.cdf_many(xs).tolist() == [pmf.cdf(x) for x in xs]
+
+
+# ---------------------------------------------------------------------------
+# convolve_all: balanced tree + FFT fast path
+# ---------------------------------------------------------------------------
+def _direct_fold(pmfs):
+    """The historical exact reference: left fold over DiscretePmf.convolve
+    (pairwise np.convolve with per-step renormalization)."""
+    result = pmfs[0]
+    for pmf in pmfs[1:]:
+        result = result.convolve(pmf)
+    return result
+
+
+def _wide_pmf(rng, bins, offset):
+    mass = rng.random(bins) + 1e-6  # strictly positive, un-normalized
+    return DiscretePmf(Q, offset, mass)
+
+
+def test_convolve_all_small_inputs_bit_identical_to_fold():
+    """Below the FFT threshold the historical fold runs unchanged."""
+    rng = np.random.default_rng(7)
+    pmfs = [_wide_pmf(rng, bins, off) for bins, off in ((30, 1), (50, 0), (20, 4), (40, 2))]
+    tree = convolve_all(pmfs)
+    fold = _direct_fold(pmfs)
+    assert tree.offset == fold.offset
+    np.testing.assert_array_equal(tree.mass, fold.mass)
+
+
+def test_convolve_all_fft_path_matches_direct():
+    from repro.stats.pmf import CONVOLVE_FFT_THRESHOLD
+
+    rng = np.random.default_rng(11)
+    pmfs = [_wide_pmf(rng, 500, i) for i in range(4)]
+    assert sum(p.mass.size for p in pmfs) >= CONVOLVE_FFT_THRESHOLD
+    fast = convolve_all(pmfs)
+    exact = _direct_fold(pmfs)
+    assert fast.offset == exact.offset
+    assert fast.mass.size == exact.mass.size
+    np.testing.assert_allclose(fast.mass, exact.mass, atol=1e-12)
+    assert fast.mass.min() >= 0.0
+    assert fast.mass.sum() == pytest.approx(1.0)
+
+
+def test_convolve_all_quantum_mismatch_rejected():
+    a = DiscretePmf.degenerate(0.010, Q)
+    b = DiscretePmf.degenerate(0.010, 2 * Q)
+    with pytest.raises(ValueError):
+        convolve_all([a, b])
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    sizes=st.lists(st.integers(min_value=200, max_value=700), min_size=2, max_size=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_convolve_all_fft_exactness_property(seed, sizes):
+    """Property (ISSUE 2): the FFT/tree path agrees with direct convolution
+    within 1e-12 on every bin, for arbitrary positive mass shapes."""
+    rng = np.random.default_rng(seed)
+    pmfs = [_wide_pmf(rng, bins, int(rng.integers(0, 10))) for bins in sizes]
+    fast = convolve_all(pmfs)
+    exact = _direct_fold(pmfs)
+    assert fast.offset == exact.offset
+    np.testing.assert_allclose(fast.mass, exact.mass, atol=1e-12)
+    assert fast.mean() == pytest.approx(exact.mean(), abs=1e-9)
