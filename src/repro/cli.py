@@ -6,6 +6,7 @@ Commands:
 * ``figure4`` — adaptivity sweep, both panels (Figure 4);
 * ``ablations`` — the A1–A9 parameter/baseline/failure/extension studies;
 * ``validation`` — staleness-model calibration + hot-spot avoidance;
+* ``chaos`` — seeded fault campaigns audited by consistency invariants;
 * ``info`` — reproduction summary and module inventory.
 
 ``--quick`` runs reduced sweeps everywhere it is meaningful.
@@ -52,6 +53,25 @@ def _cmd_validation(args: argparse.Namespace) -> None:
 
     argv = ["--quick"] if args.quick else []
     validation.main(argv + _jobs_argv(args))
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos
+
+    argv = ["--seeds", str(args.seeds), "--seed", str(args.seed)]
+    if args.quick:
+        argv.append("--quick")
+    if args.membership_outage:
+        argv.append("--membership-outage")
+    if args.no_retry:
+        argv.append("--no-retry")
+    if args.duration is not None:
+        argv += ["--duration", str(args.duration)]
+    if args.save:
+        argv += ["--save", args.save]
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    return chaos.main(argv)
 
 
 def _cmd_info(args: argparse.Namespace) -> None:
@@ -109,6 +129,21 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
     pv.set_defaults(func=_cmd_validation)
 
+    pc = sub.add_parser(
+        "chaos", help="seeded fault campaigns + consistency invariants"
+    )
+    pc.add_argument("--seeds", type=int, default=10, metavar="N")
+    pc.add_argument("--seed", type=int, default=0, help="base seed")
+    pc.add_argument("--duration", type=float, default=None, metavar="SECONDS")
+    pc.add_argument("--quick", action="store_true")
+    pc.add_argument("--membership-outage", action="store_true")
+    pc.add_argument("--no-retry", action="store_true")
+    pc.add_argument("--save", metavar="PATH", help="write results as JSON")
+    pc.add_argument(
+        "--trace-dir", metavar="DIR", help="dump traces of violating campaigns"
+    )
+    pc.set_defaults(func=_cmd_chaos)
+
     pi = sub.add_parser("info", help="reproduction summary")
     pi.set_defaults(func=_cmd_info)
 
@@ -118,8 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":

@@ -53,12 +53,59 @@ from repro.core.requests import (
 from repro.core.selection import ReplicaView, SelectionStrategy, StateBasedSelection
 from repro.core.staleness import StalenessModel
 from repro.groups.group import GroupEndpoint
+from repro.groups.membership import View
 from repro.net.message import Message
 from repro.sim.kernel import Event
 from repro.sim.process import Signal
 from repro.sim.tracing import NULL_TRACE, Trace
 
 OutcomeCallback = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-budget-aware re-dispatch of reads (DESIGN.md §9).
+
+    When the selected replicas go quiet — crash, eviction, overload — the
+    gateway re-issues the read to the next-best replica from the §5
+    selection model instead of riding the timing failure out:
+
+    * ``max_retries`` bounds re-dispatches per read (hedges not counted);
+    * a retry is only attempted while the remaining deadline budget is at
+      least ``min_remaining_budget`` seconds — a retry that cannot finish
+      in time is wasted load;
+    * ``checkpoint_fraction`` places the no-reply checkpoint: if nothing
+      arrived by ``t0 + checkpoint_fraction * d``, the read is re-sent
+      (subsequent checkpoints recurse on the remaining budget);
+    * an eviction of every live selected replica (observed via a QoS-group
+      view change) triggers an immediate re-dispatch;
+    * ``hedge`` duplicates demanding reads — ``P_c(d)`` at least
+      ``hedge_min_probability`` — to the runner-up replica at issue time
+      when the strategy selected a single one.
+
+    Retries never double-count in the timing statistics: each read is
+    judged once, and the per-counter breakdown (``retries_sent``,
+    ``retry_resolved``, ``reads_salvaged``...) is reported separately so
+    ``observed_failure_probability`` stays honest.
+    """
+
+    max_retries: int = 1
+    min_remaining_budget: float = 0.020
+    checkpoint_fraction: float = 0.6
+    hedge: bool = False
+    hedge_min_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"negative max_retries {self.max_retries!r}")
+        if self.min_remaining_budget < 0:
+            raise ValueError("min_remaining_budget must be >= 0")
+        if not 0.0 < self.checkpoint_fraction < 1.0:
+            raise ValueError(
+                f"checkpoint_fraction {self.checkpoint_fraction!r} outside (0, 1)"
+            )
+        if not 0.0 <= self.hedge_min_probability <= 1.0:
+            raise ValueError("hedge_min_probability outside [0, 1]")
 
 
 @dataclass
@@ -71,8 +118,16 @@ class _PendingCall:
     selected: tuple[str, ...]
     deadline_event: Optional[Event] = None
     gc_event: Optional[Event] = None
+    retry_event: Optional[Event] = None
     failed: bool = False
     completed: bool = False
+    # Retry bookkeeping (reads only): replicas still expected to answer,
+    # replicas already tried, and which targets were retries/hedges.
+    live: set[str] = field(default_factory=set)
+    tried: set[str] = field(default_factory=set)
+    retry_targets: set[str] = field(default_factory=set)
+    hedge_targets: set[str] = field(default_factory=set)
+    retries: int = 0
 
 
 class ClientHandler(GroupEndpoint):
@@ -92,6 +147,7 @@ class ClientHandler(GroupEndpoint):
         has_sequencer: bool = True,
         use_prediction_cache: bool = True,
         charge_selection_overhead: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
         gc_timeout: float = 30.0,
         on_qos_violation: Optional[Callable[[float], None]] = None,
         trace: Trace = NULL_TRACE,
@@ -115,6 +171,7 @@ class ClientHandler(GroupEndpoint):
         self.default_qos = default_qos
         self.has_sequencer = has_sequencer
         self.charge_selection_overhead = charge_selection_overhead
+        self.retry_policy = retry_policy
         self.gc_timeout = gc_timeout
         self.on_qos_violation = on_qos_violation
         self.trace = trace
@@ -140,6 +197,15 @@ class ClientHandler(GroupEndpoint):
         self.response_times: list[float] = []
         self.selection_overheads: list[float] = []  # wall-clock seconds (Fig. 3)
         self.staleness_violations = 0
+
+        # Retry/hedge accounting, kept separate from the timing statistics
+        # so ``observed_failure_probability`` stays honest (§5.4).
+        self.retries_sent = 0
+        self.hedges_sent = 0
+        self.failover_redispatches = 0
+        self.retry_resolved = 0  # first delivered reply came from a retry
+        self.hedge_resolved = 0  # first delivered reply came from the hedge
+        self.reads_salvaged = 0  # judged failed at the deadline, value later
 
     # ------------------------------------------------------------------
     # Public API
@@ -276,12 +342,30 @@ class ClientHandler(GroupEndpoint):
             callback=callback,
             selected=selection,
         )
+        pending.live = set(selection)
+        pending.tried = set(selection)
         self._pending[request.request_id] = pending
         self._remember_tm(request.request_id, tm)
         self.reads_issued += 1
         self.selected_counts.append(len(selection))
 
         targets = list(selection)
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and policy.hedge
+            and len(selection) == 1
+            and qos.min_probability >= policy.hedge_min_probability
+        ):
+            # Hedge a demanding single-replica read: duplicate it to the
+            # runner-up so one slow/crashed replica cannot sink P_c(d).
+            extra = self._next_best_replica(qos, pending.tried, qos.deadline)
+            if extra is not None:
+                targets.append(extra)
+                pending.live.add(extra)
+                pending.tried.add(extra)
+                pending.hedge_targets.add(extra)
+                self.hedges_sent += 1
         if self.has_sequencer:
             sequencer = self.view_of(self.groups.primary).leader
             if sequencer is not None and sequencer not in targets:
@@ -300,6 +384,12 @@ class ClientHandler(GroupEndpoint):
         pending.deadline_event = self.sim.schedule(
             qos.deadline, self._on_deadline, request.request_id
         )
+        if policy is not None and policy.max_retries > 0:
+            pending.retry_event = self.sim.schedule(
+                qos.deadline * policy.checkpoint_fraction,
+                self._retry_checkpoint,
+                request.request_id,
+            )
         pending.gc_event = self.sim.schedule(
             max(self.gc_timeout, 2 * qos.deadline),
             self._garbage_collect,
@@ -405,6 +495,8 @@ class ClientHandler(GroupEndpoint):
             pending.deadline_event.cancel()
         if pending.gc_event is not None:
             pending.gc_event.cancel()
+        if pending.retry_event is not None:
+            pending.retry_event.cancel()
         del self._pending[reply.request_id]
 
         response_time = tp - pending.t0
@@ -416,6 +508,12 @@ class ClientHandler(GroupEndpoint):
                 self.reads_judged += 1
                 if timing_failure:
                     self.timing_failures += 1
+            elif reply.value is not None:
+                self.reads_salvaged += 1
+            if reply.replica in pending.retry_targets:
+                self.retry_resolved += 1
+            elif reply.replica in pending.hedge_targets:
+                self.hedge_resolved += 1
             if reply.deferred:
                 self.deferred_replies += 1
             self.response_times.append(response_time)
@@ -465,6 +563,124 @@ class ClientHandler(GroupEndpoint):
         if pending.qos is not None:
             self._check_violation(pending.qos)
 
+    # ------------------------------------------------------------------
+    # Deadline-budget-aware retry (DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def _retry_checkpoint(self, request_id: int) -> None:
+        """Periodic no-reply checkpoint while a read is in flight."""
+        pending = self._pending.get(request_id)
+        if pending is None or pending.completed:
+            return
+        pending.retry_event = None
+        if self._retry_dispatch(pending, reason="timeout"):
+            self._arm_retry_checkpoint(pending)
+
+    def _arm_retry_checkpoint(self, pending: _PendingCall) -> None:
+        policy = self.retry_policy
+        if policy is None or pending.qos is None:
+            return
+        if pending.retries >= policy.max_retries:
+            return
+        remaining = (pending.t0 + pending.qos.deadline) - self.now
+        delay = remaining * policy.checkpoint_fraction
+        if delay <= 0.0:
+            return
+        pending.retry_event = self.sim.schedule(
+            delay, self._retry_checkpoint, pending.request.request_id
+        )
+
+    def _retry_dispatch(self, pending: _PendingCall, reason: str) -> bool:
+        """Re-issue a read to the next-best untried replica.
+
+        Returns True iff a retry was actually sent.  Guards: a policy is
+        configured, the read is still open, the retry budget and the
+        remaining deadline budget both allow it, and an untried candidate
+        exists.
+        """
+        policy = self.retry_policy
+        if policy is None or pending.qos is None:
+            return False
+        if pending.completed or pending.retries >= policy.max_retries:
+            return False
+        remaining = (pending.t0 + pending.qos.deadline) - self.now
+        if remaining < policy.min_remaining_budget:
+            return False
+        target = self._next_best_replica(pending.qos, pending.tried, remaining)
+        if target is None:
+            return False
+        pending.retries += 1
+        pending.tried.add(target)
+        pending.live.add(target)
+        pending.retry_targets.add(target)
+        self.retries_sent += 1
+        self.gsend(self.groups.qos, target, pending.request)
+        self.trace.emit(
+            self.now, "client.retry", self.name,
+            request_id=pending.request.request_id, target=target,
+            reason=reason, remaining=remaining, attempt=pending.retries,
+        )
+        return True
+
+    def _next_best_replica(
+        self, qos: QoSSpec, exclude: set[str], deadline: float
+    ) -> Optional[str]:
+        """Rank the candidates of §5.3 by P(response <= remaining budget)
+        and return the best one not yet tried (deterministic tie-break)."""
+        best_name: Optional[str] = None
+        best_score = -1.0
+        stale_factor = self.predictor.staleness_factor(
+            qos.staleness_threshold, self.now
+        )
+        for view in self._candidates(qos):
+            if view.name in exclude:
+                continue
+            if view.is_primary:
+                score = self.predictor.immediate_cdf(view.name, deadline)
+            else:
+                immediate, delayed = self.predictor.response_cdfs(
+                    view.name, deadline
+                )
+                score = stale_factor * immediate + (1.0 - stale_factor) * delayed
+            if score > best_score or (
+                score == best_score
+                and (best_name is None or view.name < best_name)
+            ):
+                best_name = view.name
+                best_score = score
+        return best_name
+
+    def on_view_change(self, view: "View", previous: Optional["View"]) -> None:
+        """Evictions of every live selected replica trigger an immediate
+        re-dispatch instead of waiting for the no-reply checkpoint."""
+        if self.retry_policy is None or previous is None:
+            return
+        if view.group not in (self.groups.primary, self.groups.secondary):
+            return
+        gone = set(previous.members) - set(view.members)
+        if not gone:
+            return
+        for pending in list(self._pending.values()):
+            if pending.request.kind is not RequestKind.READ:
+                continue
+            if pending.completed or not (pending.live & gone):
+                continue
+            pending.live -= gone
+            if pending.live:
+                continue  # another selected replica may still answer
+            if self._retry_dispatch(pending, reason="failover"):
+                self.failover_redispatches += 1
+
+    def recovery_stats(self) -> dict[str, int]:
+        """Retry/hedge/failover counters for the experiment reports."""
+        return {
+            "retries_sent": self.retries_sent,
+            "hedges_sent": self.hedges_sent,
+            "failover_redispatches": self.failover_redispatches,
+            "retry_resolved": self.retry_resolved,
+            "hedge_resolved": self.hedge_resolved,
+            "reads_salvaged": self.reads_salvaged,
+        }
+
     def _check_violation(self, qos: Optional[QoSSpec]) -> None:
         if qos is None or self.on_qos_violation is None:
             return
@@ -478,6 +694,8 @@ class ClientHandler(GroupEndpoint):
         if pending is None or pending.completed:
             return
         pending.completed = True
+        if pending.retry_event is not None:
+            pending.retry_event.cancel()
         if pending.request.kind is RequestKind.READ:
             self.reads_resolved += 1
             if not pending.failed:

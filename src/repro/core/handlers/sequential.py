@@ -40,6 +40,9 @@ from repro.core.requests import (
     SequencerSyncReply,
     SequencerSyncRequest,
     StalenessInfo,
+    StateTransferRelay,
+    StateTransferRequest,
+    StateTransferSnapshot,
 )
 from repro.core.state import ReplicatedObject
 from repro.core.tuning import AdaptiveLazyController
@@ -127,6 +130,16 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         self.gsn_queries_sent = 0
         self.reassignments = 0
 
+        # Primary recovery (state transfer; DESIGN.md §9).
+        self._recovering = False
+        self._xfer_id = 0
+        self._xfer_rotation = 0
+        self.state_transfers_started = 0
+        self.state_transfers_completed = 0
+        self.state_transfers_served = 0
+        self._gap_stuck_csn: Optional[int] = None
+        self._gap_watch_event = None
+
     # ------------------------------------------------------------------
     # Roles
     # ------------------------------------------------------------------
@@ -160,6 +173,10 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         self._last_lazy_at = self.now
         self._lazy_tick_event = None
         self._schedule_lazy_tick()
+        # Every primary watches its own commit frontier from the start: a
+        # commit hole can open without a crash on *this* replica (lossy
+        # links or a partition can exhaust a sender's retry budget).
+        self._arm_gap_watchdog()
         if self.lazy_controller is not None:
             # The tuning loop runs on its own (faster) cadence so the
             # controller reacts to load changes even while the publish
@@ -212,6 +229,12 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             self._on_sync_request(payload)
         elif isinstance(payload, SequencerSyncReply):
             self._on_sync_reply(payload)
+        elif isinstance(payload, StateTransferRequest):
+            self._on_state_transfer_request(payload)
+        elif isinstance(payload, StateTransferRelay):
+            self._on_state_transfer_relay(payload)
+        elif isinstance(payload, StateTransferSnapshot):
+            self._on_state_transfer_snapshot(payload)
         elif isinstance(payload, GsnSkip):
             self._on_skip(payload)
         else:
@@ -587,3 +610,218 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             if gsn > self.my_csn:
                 self._skips.add(gsn)
         self._drain_commit_queue()
+
+    # ------------------------------------------------------------------
+    # Primary recovery via state transfer (DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def begin_state_transfer(self) -> None:
+        """Start (or restart) snapshot catch-up from the primary group.
+
+        Called by the service when a crashed primary rejoins, and by the
+        commit-gap watchdog when this primary holds a GSN assignment whose
+        Request it never received (a client with a stale view multicast the
+        update while we were out of the group).  Every local ordering
+        buffer is flushed: the donor snapshot supersedes anything buffered
+        here, and clients learn outcomes from the surviving primaries'
+        replies.
+        """
+        self._recovering = True
+        self._xfer_id += 1
+        self.state_transfers_started += 1
+        if self._gap_watch_event is not None:
+            self._gap_watch_event.cancel()
+            self._gap_watch_event = None
+        self.flush_pending()
+        self._awaiting_gsn.clear()
+        self._commit_wait.clear()
+        self._stale_wait.clear()
+        self._deferred.clear()
+        self._update_in_flight = None
+        self.trace.emit(
+            self.now, "replica.state-transfer-start", self.name,
+            xfer_id=self._xfer_id,
+        )
+        self._request_state_transfer(self._xfer_id)
+
+    def _request_state_transfer(self, xfer_id: int) -> None:
+        if not self._recovering or xfer_id != self._xfer_id or not self.up:
+            return
+        sequencer = self.sequencer_name
+        if sequencer is None or sequencer == self.name:
+            # Nobody to ask: we lead (or the view is empty), so no peer
+            # holds newer committed state.  Keep the retained state.
+            self._recovering = False
+            self.state_transfers_completed += 1
+            self.trace.emit(
+                self.now, "replica.state-transfer-done", self.name,
+                donor=None, csn=self.my_csn, gsn=self.my_gsn,
+            )
+            self._arm_gap_watchdog()
+            return
+        self.gsend(
+            self.groups.primary,
+            sequencer,
+            StateTransferRequest(self.name, xfer_id),
+            size_bytes=64,
+        )
+        # Retry until a snapshot lands: the sequencer ignores requests from
+        # members it does not (yet) see in its primary view, the chosen
+        # donor may itself be recovering, and the sequencer can fail over
+        # mid-transfer (retries re-resolve the current leader).
+        self.sim.schedule(self.sync_timeout, self._request_state_transfer, xfer_id)
+
+    def _on_state_transfer_request(self, request: StateTransferRequest) -> None:
+        if not self.is_sequencer:
+            return
+        members = self.primary_view.members
+        if request.requester not in members:
+            # The rejoin view change has not reached us yet.  Answering now
+            # would let assignments made after the snapshot race past the
+            # requester; it retries until we see it in the view.
+            return
+        donors = [m for m in members if m not in (self.name, request.requester)]
+        max_gsn = max(self.my_gsn, self.my_csn)
+        if not donors:
+            # The requester is the only serving primary: no peer holds
+            # newer committed state.  Ship our sequencing facts so it at
+            # least adopts the authoritative GSN and assignment bindings.
+            reply = StateTransferSnapshot(
+                member=self.name,
+                xfer_id=request.xfer_id,
+                csn=-1,
+                max_gsn=max_gsn,
+                snapshot=None,
+                assignments=tuple(
+                    sorted(self._update_assignments.items(), key=lambda kv: kv[1])
+                ),
+            )
+            self.gsend(self.groups.primary, request.requester, reply, size_bytes=512)
+            return
+        # Rotate donors across retries so a donor that is itself mid-
+        # recovery (and therefore stays silent) does not wedge the
+        # transfer.
+        self._xfer_rotation += 1
+        donor = donors[self._xfer_rotation % len(donors)]
+        self.gsend(
+            self.groups.primary,
+            donor,
+            StateTransferRelay(request.requester, request.xfer_id, max_gsn),
+            size_bytes=64,
+        )
+
+    def _on_state_transfer_relay(self, relay: StateTransferRelay) -> None:
+        if not self.up or self._recovering or relay.requester == self.name:
+            return
+        assignments = dict(self._update_assignments)
+        assignments.update(self._recent_commits)
+        commit_wait = tuple(
+            (gsn, pending.request)
+            for gsn, pending in sorted(self._commit_wait.items())
+        )
+        unassigned = tuple(
+            pending.request
+            for _, pending in sorted(self._awaiting_gsn.items())
+            if pending.request.kind is RequestKind.UPDATE
+        )
+        reply = StateTransferSnapshot(
+            member=self.name,
+            xfer_id=relay.xfer_id,
+            csn=self.my_csn,
+            max_gsn=max(self.my_gsn, self.my_csn, relay.max_gsn),
+            snapshot=self.app.snapshot(),
+            commit_wait=commit_wait,
+            unassigned=unassigned,
+            assignments=tuple(sorted(assignments.items(), key=lambda kv: kv[1])),
+            skips=tuple(sorted(g for g in self._skips if g > self.my_csn)),
+        )
+        self.state_transfers_served += 1
+        self.gsend(self.groups.primary, relay.requester, reply, size_bytes=2048)
+        self.trace.emit(
+            self.now, "replica.state-transfer-serve", self.name,
+            requester=relay.requester, csn=self.my_csn,
+        )
+
+    def _on_state_transfer_snapshot(self, snap: StateTransferSnapshot) -> None:
+        if not self._recovering or snap.xfer_id != self._xfer_id:
+            return
+        self._recovering = False
+        self.state_transfers_completed += 1
+        if snap.snapshot is not None:
+            self.app.restore(snap.snapshot)
+            self.my_csn = snap.csn
+        self.my_gsn = max(self.my_gsn, self.my_csn, snap.max_gsn)
+        for rid, gsn in snap.assignments:
+            self._remember_assignment(rid, gsn, update=True)
+        for gsn in snap.skips:
+            if gsn > self.my_csn:
+                self._skips.add(gsn)
+        # The uncommitted log suffix: bound updates we missed the client
+        # multicasts for, replayed in GSN order once the queue drains.
+        for gsn, request in snap.commit_wait:
+            if gsn <= self.my_csn or gsn in self._commit_wait:
+                continue
+            pending = PendingRequest(request=request, arrived_at=self.now)
+            pending.gsn = gsn
+            self._commit_wait[gsn] = pending
+        # Updates the donor has buffered but the sequencer has not yet
+        # assigned: buffer them here too, so the upcoming GsnAssign (which
+        # will include us — we are back in the sequencer's view) binds on
+        # both replicas.
+        for request in snap.unassigned:
+            if request.request_id not in self._awaiting_gsn:
+                self._buffer_for_gsn(request)
+        self.trace.emit(
+            self.now, "replica.state-transfer-done", self.name,
+            donor=snap.member, csn=self.my_csn, gsn=self.my_gsn,
+        )
+        self._drain_commit_queue()
+        self._drain_stale_waiters()
+        self._arm_gap_watchdog()
+
+    # ------------------------------------------------------------------
+    # Commit-gap watchdog
+    # ------------------------------------------------------------------
+    def _arm_gap_watchdog(self) -> None:
+        """Monitor the commit frontier of a recovered primary.
+
+        A client whose primary view predated our rejoin multicasts its
+        updates without us; the sequencer (which does see us) broadcasts
+        the GSN assignment to everyone.  We then hold an assignment for
+        ``my_csn + 1`` with no Request to execute — a hole no local action
+        can fill.  Two consecutive checks with zero progress trigger a
+        fresh state transfer (the donor received the multicast, so its
+        snapshot commits past the hole).
+        """
+        if self._gap_watch_event is not None:
+            self._gap_watch_event.cancel()
+        self._gap_stuck_csn = None
+        self._gap_watch_event = self.sim.schedule(
+            2 * self.sync_timeout, self._gap_check
+        )
+
+    def _gap_check(self) -> None:
+        self._gap_watch_event = None
+        if self.network is None or self._recovering:
+            return  # a state-transfer completion re-arms the watchdog
+        hole = self.my_csn + 1
+        blocked = (
+            self.up
+            and self.is_primary
+            and not self.is_sequencer  # the sequencer never commits
+            and self.my_gsn > self.my_csn
+            and self._update_in_flight is None
+            and hole not in self._commit_wait
+            and hole not in self._skips
+        )
+        if blocked and self._gap_stuck_csn == self.my_csn:
+            # Two consecutive checks with a frozen commit frontier: the
+            # Request (or its assignment) for the hole is lost — no
+            # retransmission is coming, only a donor snapshot (which
+            # committed past the hole) can unblock us.
+            self.trace.emit(self.now, "replica.commit-gap", self.name, gsn=hole)
+            self.begin_state_transfer()
+            return
+        self._gap_stuck_csn = self.my_csn if blocked else None
+        self._gap_watch_event = self.sim.schedule(
+            2 * self.sync_timeout, self._gap_check
+        )

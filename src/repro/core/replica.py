@@ -90,6 +90,7 @@ class ReplicaHandlerBase(GroupEndpoint):
         self.publish_performance = publish_performance
         self._ready: deque[PendingRequest] = deque()
         self._busy = False
+        self._incarnation = 0
         self.reads_served = 0
         self.updates_committed = 0
         self.deferred_reads_served = 0
@@ -143,6 +144,18 @@ class ReplicaHandlerBase(GroupEndpoint):
         self._ready.append(pending)
         self._maybe_start()
 
+    def flush_pending(self) -> None:
+        """Drop every queued and in-flight request (crash recovery).
+
+        Bumping the service incarnation invalidates completion events that
+        were scheduled before the flush: without it, a request in service
+        at crash time would complete *after* recovery and commit stale work
+        against freshly transferred state.
+        """
+        self._ready.clear()
+        self._busy = False
+        self._incarnation += 1
+
     @property
     def queue_depth(self) -> int:
         return len(self._ready) + (1 if self._busy else 0)
@@ -161,9 +174,13 @@ class ReplicaHandlerBase(GroupEndpoint):
         duration = model.sample(self.rng.stream(f"service.{self.name}"))
         if self.host is not None:
             duration = self.host.scale(duration)
-        self.sim.schedule(duration, self._complete, pending, duration)
+        self.sim.schedule(duration, self._complete, pending, duration, self._incarnation)
 
-    def _complete(self, pending: PendingRequest, ts: float) -> None:
+    def _complete(self, pending: PendingRequest, ts: float, incarnation: int) -> None:
+        if incarnation != self._incarnation:
+            # The queue was flushed (crash recovery) after this request
+            # entered service; its work belongs to a dead incarnation.
+            return
         self._busy = False
         if not self.up:
             # The replica crashed while "serving"; the work is lost.

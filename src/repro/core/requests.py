@@ -221,6 +221,68 @@ class SequencerSyncReply:
 
 
 @dataclass(frozen=True)
+class StateTransferRequest:
+    """A rejoining primary asks the current sequencer for a state transfer.
+
+    Not in the paper (§4.1's failure handling was omitted); our completion
+    is documented in DESIGN.md §9.  The sequencer answers with its own
+    sequencing state and relays the request to a *donor* — a live serving
+    primary — which ships the committed application state.
+    """
+
+    requester: str
+    xfer_id: int  # requester-local transfer attempt counter
+
+
+@dataclass(frozen=True)
+class StateTransferRelay:
+    """Sequencer-to-donor forwarding of a :class:`StateTransferRequest`.
+
+    ``max_gsn`` carries the sequencer's authoritative GSN so the donor's
+    snapshot reply also brings the requester's ``my_gsn`` current even if
+    the donor itself lags.
+    """
+
+    requester: str
+    xfer_id: int
+    max_gsn: int
+
+
+@dataclass(frozen=True)
+class StateTransferSnapshot:
+    """The donor's reply to a rejoining primary: everything needed to
+    re-enter the primary group at full strength.
+
+    * ``snapshot``/``csn`` — the committed application state and its commit
+      sequence number (a consistent cut: the simulation is single-threaded
+      and the donor captures both in one step);
+    * ``max_gsn`` — the highest GSN known (donor's, joined with the
+      sequencer's via the relay);
+    * ``commit_wait`` — the *uncommitted log suffix*: updates the donor has
+      buffered with an assigned GSN above ``csn``, shipped as full
+      ``(gsn, Request)`` pairs so the requester can commit them in order
+      (it missed the client multicasts while crashed);
+    * ``assignments`` — request id → GSN bindings (dedup across failover
+      re-broadcasts);
+    * ``skips`` — no-op GSNs declared by past failovers, still above
+      ``csn``.
+
+    ``snapshot`` is ``None`` when no donor existed (the requester was the
+    only serving primary); the requester then keeps its retained state.
+    """
+
+    member: str
+    xfer_id: int
+    csn: int
+    max_gsn: int
+    snapshot: Any
+    commit_wait: tuple[tuple[int, "Request"], ...] = ()
+    unassigned: tuple["Request", ...] = ()
+    assignments: tuple[tuple[int, int], ...] = ()
+    skips: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
 class GsnSkip:
     """Sequencer-declared no-op GSNs.
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.core.client import ClientHandler
+from repro.core.client import ClientHandler, RetryPolicy
 from repro.core.handlers.fifo import FifoReplicaHandler
 from repro.core.handlers.sequential import SequentialReplicaHandler
 from repro.core.qos import OrderingGuarantee, QoSSpec
@@ -255,17 +255,49 @@ class ReplicatedService:
         """
         handler = self.replica_by_name(name)
         if handler not in self.secondaries:
-            raise ValueError(
-                f"{name!r} is not a secondary; primary recovery would need "
-                "a state-transfer protocol the paper does not describe"
-            )
+            raise ValueError(f"{name!r} is not a secondary")
         self.network.recover(name)
+        handler.flush_pending()
         self.membership.register(self.groups.secondary, name)
         self.membership.register(self.groups.qos, name)
         handler.assume_membership(self.groups.secondary)
         handler.assume_membership(self.groups.qos)
         self._push_views()
         return handler
+
+    def recover_primary(self, name: str) -> ReplicaHandlerBase:
+        """Bring a crashed-and-evicted primary (or ex-sequencer) back.
+
+        The replica rejoins the primary and QoS groups at the *tail* of the
+        view (rank order is join order, so it never usurps the current
+        sequencer or lazy publisher), then runs the state-transfer protocol
+        (DESIGN.md §9): it requests a snapshot via the current sequencer, a
+        donor primary ships committed state + CSN/GSN + the uncommitted log
+        suffix, and the replica replays it to re-enter at full strength.
+        """
+        handler = self.replica_by_name(name)
+        if handler not in self.primaries and handler is not self.sequencer:
+            raise ValueError(f"{name!r} is not a primary")
+        if not hasattr(handler, "begin_state_transfer"):
+            raise ValueError(
+                f"primary recovery needs a state-transfer capable handler; "
+                f"{type(handler).__name__} does not implement one"
+            )
+        self.network.recover(name)
+        self.membership.register(self.groups.primary, name)
+        self.membership.register(self.groups.qos, name)
+        handler.assume_membership(self.groups.primary)
+        handler.assume_membership(self.groups.qos)
+        self._push_views()
+        handler.begin_state_transfer()
+        return handler
+
+    def recover_replica(self, name: str) -> ReplicaHandlerBase:
+        """Recover any crashed replica, dispatching on its role."""
+        handler = self.replica_by_name(name)
+        if handler in self.secondaries:
+            return self.recover_secondary(name)
+        return self.recover_primary(name)
 
     # ------------------------------------------------------------------
     # Clients
@@ -277,6 +309,7 @@ class ReplicatedService:
         default_qos: Optional[QoSSpec] = None,
         strategy: Optional[SelectionStrategy] = None,
         staleness_model: Optional["StalenessModel"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
         on_qos_violation: Optional[Callable[[float], None]] = None,
         host: Optional[Host] = None,
     ) -> ClientHandler:
@@ -299,6 +332,7 @@ class ReplicatedService:
             default_qos=default_qos,
             has_sequencer=cfg.has_sequencer,
             charge_selection_overhead=cfg.charge_selection_overhead,
+            retry_policy=retry_policy,
             gc_timeout=cfg.gc_timeout,
             on_qos_violation=on_qos_violation,
             trace=self.trace,

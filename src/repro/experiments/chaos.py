@@ -1,0 +1,438 @@
+"""Seeded chaos campaigns with consistency and timeliness invariants.
+
+Runs the full middleware stack under randomized-but-reproducible fault
+schedules (:mod:`repro.net.chaos`) and then audits the run against the
+guarantees the protocol claims (§3, §4.1, DESIGN.md §9):
+
+* **order** — live serving primaries and secondaries never diverge: every
+  pair of application histories is prefix-consistent, and after the drain
+  window the serving primaries have converged to the same CSN;
+* **staleness** — a non-deferred read never reflects state staler than its
+  QoS threshold, judged conservatively against the sequencer's stamp
+  (``sequencer.stamp`` trace records) and the serving replica's CSN;
+* **durability** — an update acknowledged to a client is never lost: its
+  GSN is unique and at or below the final CSN of every live serving
+  primary, even across sequencer failovers and primary rejoins;
+* **liveness** — once all faults heal, the system drains: probe reads
+  issued after the grace window all resolve with a value.
+
+A campaign is a pure function of its seed; a failing seed replays exactly.
+``python -m repro.experiments.chaos --seeds 10`` (or ``repro chaos``) runs
+a soak and exits non-zero on any violation, dumping the offending trace
+when ``--trace-dir`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.client import RetryPolicy
+from repro.core.qos import QoSSpec
+from repro.core.requests import ReadOutcome, UpdateOutcome
+from repro.core.service import ServiceConfig, build_testbed
+from repro.experiments.report import format_recovery_stats, format_table, save_results
+from repro.groups.membership import MembershipConfig
+from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
+from repro.sim.process import Process, Timeout
+from repro.sim.rng import Normal, seed_for
+from repro.sim.tracing import Trace
+from repro.workloads.generators import OpenLoopUpdater, PeriodicReader
+
+READ_QOS = QoSSpec(staleness_threshold=10, deadline=1.0, min_probability=0.5)
+DRAIN_GRACE = 6.0  # post-campaign window for retransmits + state transfers
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one seeded campaign."""
+
+    seed: int
+    duration: float
+    violations: list[str]
+    faults_injected: int
+    faults_skipped: int
+    reads_issued: int
+    reads_resolved: int
+    timing_failures: int
+    updates_acked: int
+    recovery: dict[str, int] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def run_campaign(
+    seed: int,
+    duration: float = 20.0,
+    membership_outage: bool = False,
+    retry: bool = True,
+    chaos_config: Optional[ChaosConfig] = None,
+    trace: Optional[Trace] = None,
+) -> CampaignResult:
+    """Run one seeded fault campaign and audit its trace.
+
+    The testbed runs three serving primaries (one protected so the order
+    invariant always has ground truth), three secondaries, a steady update
+    feed, and a periodic reader whose gateway uses the retry policy when
+    ``retry`` is set.  The chaos engine injects faults for ``duration``
+    seconds after a short warm-up, then the run drains and the invariant
+    checkers audit the end state and the trace.
+    """
+    trace = trace if trace is not None else Trace(enabled=True)
+    config = ServiceConfig(
+        name="svc",
+        num_primaries=3,
+        num_secondaries=3,
+        lazy_update_interval=0.5,
+        read_service_time=Normal(0.020, 0.005, floor=0.002),
+        heartbeat_interval=0.1,
+        suspect_timeout=0.35,
+        gsn_wait_timeout=0.15,
+    )
+    testbed = build_testbed(
+        config,
+        seed=seed,
+        trace=trace,
+        membership_config=MembershipConfig(
+            heartbeat_interval=0.1, suspect_timeout=0.35, sweep_interval=0.1
+        ),
+    )
+    sim, service, network = testbed.sim, testbed.service, testbed.network
+
+    policy = RetryPolicy(max_retries=2, hedge=True) if retry else None
+    feed = service.create_client("feed", read_only_methods={"get"})
+    reader = service.create_client(
+        "reader", read_only_methods={"get"}, retry_policy=policy
+    )
+
+    warmup = 2.0
+    workload_span = warmup + duration + DRAIN_GRACE / 2
+    updater = OpenLoopUpdater(
+        sim, feed, testbed.rng, rate=4.0, duration=workload_span
+    )
+    reader_gen = PeriodicReader(
+        sim, reader, READ_QOS, period=0.1, count=int(workload_span / 0.1)
+    )
+
+    replica_names = {h.name for h in service.all_replicas()}
+
+    def repair(name: str) -> None:
+        if name in replica_names:
+            service.recover_replica(name)
+        else:
+            network.recover(name)
+
+    engine = ChaosEngine(
+        network,
+        ChaosTargets(
+            primaries=tuple(p.name for p in service.primaries),
+            secondaries=tuple(s.name for s in service.secondaries),
+            sequencer=service.sequencer_name,
+            membership=testbed.membership.name if membership_outage else None,
+            protected=(service.primaries[0].name,),
+        ),
+        chaos_config
+        or ChaosConfig(
+            duration=duration,
+            membership_outage_weight=1.0 if membership_outage else 0.0,
+        ),
+        rng=testbed.rng.stream("chaos.engine"),
+        repair=repair,
+        trace=trace,
+    )
+
+    def repair_sweep() -> None:
+        """Re-admit live replicas that membership evicted (partitions)."""
+        for handler in service.all_replicas():
+            if not network.is_up(handler.name):
+                continue
+            home = (
+                service.groups.secondary
+                if handler in service.secondaries
+                else service.groups.primary
+            )
+            if handler.name not in testbed.membership.view_of(home):
+                service.recover_replica(handler.name)
+        sim.schedule(0.4, repair_sweep)
+
+    sim.run(until=warmup)
+    engine.start()
+    sim.schedule(0.4, repair_sweep)
+    sim.run(until=warmup + duration + DRAIN_GRACE)
+
+    # Liveness probes: after heal + grace every read must resolve.
+    probes: list[ReadOutcome] = []
+    prober = PeriodicReader(sim, reader, READ_QOS, period=0.2, count=5)
+    probes = prober.outcomes
+    sim.run(until=sim.now + 5.0)
+
+    violations = _check_invariants(
+        testbed, reader_gen.outcomes, updater.outcomes, probes, trace
+    )
+
+    recovery = dict(reader.recovery_stats())
+    for handler in service.all_replicas():
+        for key in (
+            "state_transfers_started",
+            "state_transfers_completed",
+            "state_transfers_served",
+        ):
+            recovery[key] = recovery.get(key, 0) + getattr(handler, key, 0)
+
+    return CampaignResult(
+        seed=seed,
+        duration=duration,
+        violations=violations,
+        faults_injected=engine.faults_injected,
+        faults_skipped=engine.faults_skipped,
+        reads_issued=reader.reads_issued,
+        reads_resolved=reader.reads_resolved,
+        timing_failures=reader.timing_failures,
+        updates_acked=len(updater.outcomes),
+        recovery=recovery,
+        events=[
+            f"t={e.time:.3f} {e.kind} {e.target}" for e in engine.events
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Invariant checkers
+# ---------------------------------------------------------------------------
+def _prefix_consistent(a: list, b: list) -> bool:
+    n = min(len(a), len(b))
+    return a[:n] == b[:n]
+
+
+def _check_invariants(
+    testbed,
+    read_outcomes: list[ReadOutcome],
+    update_outcomes: list[UpdateOutcome],
+    probes: list[ReadOutcome],
+    trace: Trace,
+) -> list[str]:
+    violations: list[str] = []
+    service = testbed.service
+    network = testbed.network
+    membership = testbed.membership
+
+    primary_view = membership.view_of(service.groups.primary)
+    # The current sequencer (post-failover this is a promoted ex-serving
+    # primary) stops committing by design — its frozen history is still
+    # prefix-checked below, but it is exempt from convergence/durability.
+    live_primaries = [
+        h
+        for h in service.primaries
+        if network.is_up(h.name)
+        and h.name in primary_view
+        and h.name != primary_view.leader
+        and not getattr(h, "_recovering", False)
+    ]
+    live_secondaries = [
+        h
+        for h in service.secondaries
+        if network.is_up(h.name)
+        and h.name in membership.view_of(service.groups.secondary)
+    ]
+
+    promoted = [
+        h
+        for h in service.primaries
+        if network.is_up(h.name) and h.name == primary_view.leader
+    ]
+
+    # Order: live replicas never diverge, and the serving primaries have
+    # converged by the end of the drain window.
+    reference = max(live_primaries, key=lambda h: h.my_csn, default=None)
+    if reference is not None:
+        for handler in live_primaries + live_secondaries + promoted:
+            if not _prefix_consistent(handler.app.history, reference.app.history):
+                violations.append(
+                    f"order: {handler.name} history diverges from "
+                    f"{reference.name}"
+                )
+        for handler in live_primaries:
+            if handler.my_csn != reference.my_csn:
+                violations.append(
+                    f"order: {handler.name} csn={handler.my_csn} never "
+                    f"converged to {reference.name} csn={reference.my_csn}"
+                )
+
+    # Staleness: judged against the sequencer's (re-)stamp, which is the
+    # latest GSN the read could have been ordered after — conservative.
+    stamps: dict[int, int] = {}
+    for record in trace.filter("sequencer.stamp"):
+        stamps[record.detail["request_id"]] = record.detail["gsn"]
+    for outcome in read_outcomes:
+        if outcome.value is None or outcome.deferred or outcome.gsn < 0:
+            continue
+        stamp = stamps.get(outcome.request_id)
+        if stamp is None:
+            continue
+        staleness = stamp - outcome.gsn
+        if staleness > READ_QOS.staleness_threshold:
+            violations.append(
+                f"staleness: read {outcome.request_id} served "
+                f"{staleness} versions stale (threshold "
+                f"{READ_QOS.staleness_threshold})"
+            )
+
+    # Durability: acknowledged updates are never lost, never doubly
+    # sequenced, and survive on every live serving primary.
+    seen_gsn: dict[int, int] = {}
+    max_acked = 0
+    for outcome in update_outcomes:
+        if outcome.gsn <= 0:
+            violations.append(
+                f"durability: update {outcome.request_id} acked without a GSN"
+            )
+            continue
+        prior = seen_gsn.get(outcome.gsn)
+        if prior is not None and prior != outcome.request_id:
+            violations.append(
+                f"durability: GSN {outcome.gsn} acked for both request "
+                f"{prior} and {outcome.request_id}"
+            )
+        seen_gsn[outcome.gsn] = outcome.request_id
+        max_acked = max(max_acked, outcome.gsn)
+    for handler in live_primaries:
+        if handler.my_csn < max_acked:
+            violations.append(
+                f"durability: {handler.name} csn={handler.my_csn} lost "
+                f"acked updates up to GSN {max_acked}"
+            )
+
+    # Liveness: the healed system serves every probe read with a value.
+    for outcome in probes:
+        if outcome.value is None:
+            violations.append(
+                f"liveness: probe read {outcome.request_id} never resolved "
+                f"after faults healed"
+            )
+
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Soak harness + CLI
+# ---------------------------------------------------------------------------
+def run_chaos_suite(
+    seeds: list[int],
+    duration: float = 20.0,
+    membership_outage: bool = False,
+    retry: bool = True,
+    trace_dir: Optional[Path] = None,
+) -> list[CampaignResult]:
+    results = []
+    for seed in seeds:
+        trace = Trace(enabled=True)
+        result = run_campaign(
+            seed,
+            duration=duration,
+            membership_outage=membership_outage,
+            retry=retry,
+            trace=trace,
+        )
+        results.append(result)
+        if result.violations and trace_dir is not None:
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            path = trace_dir / f"chaos-seed{seed}.trace"
+            with path.open("w") as fh:
+                for line in result.violations:
+                    fh.write(f"VIOLATION {line}\n")
+                for line in result.events:
+                    fh.write(f"EVENT {line}\n")
+                for record in trace.records:
+                    fh.write(
+                        f"{record.time:.6f} {record.category} "
+                        f"{record.actor} {record.detail}\n"
+                    )
+    return results
+
+
+def summarize(results: list[CampaignResult]) -> str:
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.seed,
+                r.faults_injected,
+                r.reads_resolved,
+                r.timing_failures,
+                r.updates_acked,
+                r.recovery.get("retries_sent", 0),
+                r.recovery.get("state_transfers_completed", 0),
+                "CLEAN" if r.clean else f"{len(r.violations)} VIOLATIONS",
+            ]
+        )
+    table = format_table(
+        ["seed", "faults", "reads", "late", "acks", "retries", "xfers", "verdict"],
+        rows,
+        title="chaos soak",
+    )
+    totals: dict[str, int] = {}
+    for r in results:
+        for key, value in r.recovery.items():
+            totals[key] = totals.get(key, 0) + value
+    return table + "\n\n" + format_recovery_stats(totals)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=10, help="number of campaigns")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--quick", action="store_true", help="3 seeds x 8s")
+    parser.add_argument(
+        "--membership-outage",
+        action="store_true",
+        help="include membership-service outages in the fault mix",
+    )
+    parser.add_argument(
+        "--no-retry", action="store_true", help="disable the client retry policy"
+    )
+    parser.add_argument("--save", type=str, default=None)
+    parser.add_argument(
+        "--trace-dir",
+        type=str,
+        default=None,
+        help="dump the full trace of any violating campaign here",
+    )
+    args = parser.parse_args(argv)
+
+    count = 3 if args.quick else args.seeds
+    duration = 8.0 if args.quick else args.duration
+    seeds = [seed_for(args.seed, "chaos", i) for i in range(count)]
+    results = run_chaos_suite(
+        seeds,
+        duration=duration,
+        membership_outage=args.membership_outage,
+        retry=not args.no_retry,
+        trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+    )
+    print(summarize(results))
+
+    if args.save:
+        save_results(
+            args.save,
+            [r.__dict__ for r in results],
+            meta={"experiment": "chaos", "seeds": seeds, "duration": duration},
+        )
+
+    dirty = [r for r in results if not r.clean]
+    if dirty:
+        for r in dirty:
+            for violation in r.violations:
+                print(f"seed {r.seed}: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -30,6 +30,39 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+RECOVERY_COUNTERS: tuple[tuple[str, str], ...] = (
+    ("retries_sent", "reads re-dispatched after a quiet checkpoint"),
+    ("hedges_sent", "reads duplicated to the runner-up at issue time"),
+    ("failover_redispatches", "re-dispatches triggered by replica eviction"),
+    ("retry_resolved", "first delivered reply came from a retry"),
+    ("hedge_resolved", "first delivered reply came from the hedge"),
+    ("reads_salvaged", "late value delivered after a timing failure"),
+    ("state_transfers_started", "primary rejoins that requested a snapshot"),
+    ("state_transfers_completed", "snapshots installed by rejoining primaries"),
+    ("state_transfers_served", "snapshots shipped by donor primaries"),
+)
+
+
+def format_recovery_stats(stats: dict, title: str = "fault recovery") -> str:
+    """Render the retry/hedge/failover/state-transfer counter table.
+
+    ``stats`` maps counter name to value — typically the union of
+    :meth:`repro.core.client.ClientHandler.recovery_stats` and the
+    state-transfer counters of the replica handlers.  Known counters are
+    printed in a stable order with descriptions; unknown keys follow.
+    """
+    known = {name for name, _ in RECOVERY_COUNTERS}
+    rows = [
+        [name, stats.get(name, 0), description]
+        for name, description in RECOVERY_COUNTERS
+        if name in stats
+    ]
+    rows.extend(
+        [name, value, ""] for name, value in sorted(stats.items()) if name not in known
+    )
+    return format_table(["counter", "count", "meaning"], rows, title=title)
+
+
 def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
     """One figure series as ``name: (x, y) ...`` for eyeballing shapes."""
     pairs = " ".join(f"({x:g}, {y:.4g})" for x, y in zip(xs, ys))

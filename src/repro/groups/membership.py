@@ -120,6 +120,10 @@ class MembershipService(Endpoint):
         self._last_heartbeat: dict[str, float] = {}
         self._observers: list[Callable[[View], None]] = []
         self._watchers: dict[str, set[str]] = {}
+        # Set while the service itself is crashed, so the first sweep
+        # after it recovers grants heartbeat amnesty instead of
+        # mass-evicting every member whose heartbeats it slept through.
+        self._amnesty_pending = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -225,6 +229,24 @@ class MembershipService(Endpoint):
     # ------------------------------------------------------------------
     def _sweep(self) -> None:
         if self.network is not None and self.network.is_up(self.name):
+            if self._amnesty_pending:
+                # The service just recovered from an outage during which
+                # no heartbeat could reach it.  Members are only as stale
+                # as their *delivery* gap, not their liveness: reset the
+                # clock for everyone and let the next sweeps re-detect the
+                # genuinely dead (they stay silent; the live re-heartbeat
+                # within one heartbeat interval).
+                self._amnesty_pending = False
+                for member in self._last_heartbeat:
+                    self._last_heartbeat[member] = max(
+                        self._last_heartbeat[member], self.now
+                    )
+                self.trace.emit(
+                    self.now,
+                    "membership.amnesty",
+                    self.name,
+                    members=sorted(self._last_heartbeat),
+                )
             deadline = self.now - self.config.suspect_timeout
             suspects = [
                 member
@@ -235,4 +257,6 @@ class MembershipService(Endpoint):
                 del self._last_heartbeat[member]
                 for group in list(self._views):
                     self._evict(group, member, reason="suspected")
+        elif self.network is not None:
+            self._amnesty_pending = True
         self._schedule_sweep()

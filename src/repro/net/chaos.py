@@ -1,0 +1,363 @@
+"""Seeded chaos campaigns over the network fabric.
+
+The :class:`ChaosEngine` turns the point primitives of
+:class:`~repro.net.failures.FailureInjector` — crash/recover, partition/
+heal, host overload, lossy links — into a *randomized but reproducible*
+fault schedule: every decision (what to break, when, for how long) is drawn
+from one ``random.Random`` stream, so a campaign is a pure function of its
+seed and the fleet can replay any failing run bit-for-bit.
+
+The engine is deliberately service-agnostic: it knows endpoint *names*
+(via :class:`ChaosTargets`), not protocol roles.  Recovery of a crashed
+endpoint is delegated to an optional ``repair`` callback so the service
+layer can run its own rejoin protocol (state transfer, re-registration);
+without one the engine just flips the fabric state back.
+
+Safety constraints keep campaigns *survivable* rather than merely random:
+
+* ``protected`` endpoints are never faulted (keep one serving replica and
+  the invariant-checking ground truth alive);
+* at most ``max_concurrent_down`` endpoints are crashed at once;
+* a crash is skipped when it would leave no live serving primary;
+* one partition and one loss window at a time (the fabric heals
+  partitions wholesale, so overlapping cuts cannot be unwound safely).
+
+At ``duration`` the engine stops injecting and heals the world: active
+partitions are cleared, the loss probability is restored, and every
+endpoint it crashed is recovered through the repair callback.  Everything
+is recorded in :attr:`ChaosEngine.events` and traced as ``chaos.*`` for
+the invariant checkers in :mod:`repro.experiments.chaos`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.network import Network
+from repro.sim.tracing import NULL_TRACE, Trace
+
+
+@dataclass(frozen=True)
+class ChaosTargets:
+    """The endpoints a campaign may fault, by (service-assigned) role.
+
+    ``primaries`` are the serving primaries — the engine guarantees at
+    least one stays live.  ``sequencer`` and ``membership`` are optional
+    singletons; crashing them exercises failover and detector-outage
+    paths.  ``protected`` names are never faulted regardless of which
+    other field lists them.
+    """
+
+    primaries: tuple[str, ...]
+    secondaries: tuple[str, ...] = ()
+    sequencer: Optional[str] = None
+    membership: Optional[str] = None
+    protected: tuple[str, ...] = ()
+
+    def crashable(self) -> list[str]:
+        names = list(self.primaries) + list(self.secondaries)
+        if self.sequencer is not None:
+            names.append(self.sequencer)
+        return [n for n in names if n not in self.protected]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of one campaign: intensity, fault mix, and window sizes."""
+
+    duration: float = 30.0
+    mean_interval: float = 1.5  # exponential gap between injections
+    crash_weight: float = 4.0
+    partition_weight: float = 1.0
+    overload_weight: float = 2.0
+    loss_weight: float = 1.0
+    membership_outage_weight: float = 0.0
+    max_concurrent_down: int = 2
+    downtime: tuple[float, float] = (0.8, 3.0)
+    partition_window: tuple[float, float] = (0.5, 2.0)
+    overload_window: tuple[float, float] = (0.5, 2.0)
+    overload_factor: tuple[float, float] = (2.0, 8.0)
+    loss_window: tuple[float, float] = (0.5, 2.0)
+    loss_probability: tuple[float, float] = (0.02, 0.15)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("campaign duration must be positive")
+        if self.mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        if self.max_concurrent_down < 1:
+            raise ValueError("max_concurrent_down must be >= 1")
+        for name in (
+            "downtime",
+            "partition_window",
+            "overload_window",
+            "overload_factor",
+            "loss_window",
+            "loss_probability",
+        ):
+            low, high = getattr(self, name)
+            if low <= 0 or high < low:
+                raise ValueError(f"invalid {name} range [{low}, {high}]")
+
+
+@dataclass
+class ChaosEvent:
+    """One injected fault, for reports and failure forensics."""
+
+    time: float
+    kind: str
+    target: str
+    until: Optional[float] = None
+    detail: dict = field(default_factory=dict)
+
+
+class ChaosEngine:
+    """Drives one seeded fault campaign on a simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        targets: ChaosTargets,
+        config: Optional[ChaosConfig] = None,
+        rng: Optional[random.Random] = None,
+        repair: Optional[Callable[[str], None]] = None,
+        trace: Trace = NULL_TRACE,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.targets = targets
+        self.config = config or ChaosConfig()
+        self.rng = rng or random.Random(0)
+        self.repair = repair
+        self.trace = trace
+        self.events: list[ChaosEvent] = []
+        self._down: set[str] = set()
+        self._partition_active = False
+        self._loss_active = False
+        self._base_drop = network.drop_probability
+        self._started_at: Optional[float] = None
+        self._stopped = False
+        self.faults_injected = 0
+        self.faults_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Campaign lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("chaos campaign already started")
+        self._started_at = self.sim.now
+        self.trace.emit(self.sim.now, "chaos.start", "chaos")
+        self.sim.schedule(self._next_gap(), self._tick)
+        self.sim.schedule(self.config.duration, self._finish)
+
+    @property
+    def finished(self) -> bool:
+        return self._stopped
+
+    def _next_gap(self) -> float:
+        return self.rng.expovariate(1.0 / self.config.mean_interval)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        assert self._started_at is not None
+        if self.sim.now - self._started_at >= self.config.duration:
+            return
+        if self._inject():
+            self.faults_injected += 1
+        else:
+            self.faults_skipped += 1
+        self.sim.schedule(self._next_gap(), self._tick)
+
+    def _finish(self) -> None:
+        """Stop injecting and heal the world (end of campaign)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._partition_active:
+            self._heal_partition()
+        if self._loss_active:
+            self._end_loss()
+        for name in sorted(self._down):
+            self._recover(name)
+        self.trace.emit(
+            self.sim.now, "chaos.end", "chaos",
+            injected=self.faults_injected, skipped=self.faults_skipped,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault selection and injection
+    # ------------------------------------------------------------------
+    def _inject(self) -> bool:
+        cfg = self.config
+        choices: list[tuple[str, float]] = [
+            ("crash", cfg.crash_weight),
+            ("partition", cfg.partition_weight),
+            ("overload", cfg.overload_weight),
+            ("loss", cfg.loss_weight),
+        ]
+        if self.targets.membership is not None:
+            choices.append(("membership", cfg.membership_outage_weight))
+        kinds = [k for k, w in choices if w > 0]
+        weights = [w for _, w in choices if w > 0]
+        if not kinds:
+            return False
+        kind = self.rng.choices(kinds, weights=weights, k=1)[0]
+        return {
+            "crash": self._inject_crash,
+            "partition": self._inject_partition,
+            "overload": self._inject_overload,
+            "loss": self._inject_loss,
+            "membership": self._inject_membership_outage,
+        }[kind]()
+
+    def _record(self, event: ChaosEvent) -> None:
+        self.events.append(event)
+        self.trace.emit(
+            event.time, f"chaos.{event.kind}", event.target,
+            until=event.until, **event.detail,
+        )
+
+    def _live_primary_count(self) -> int:
+        return sum(
+            1 for name in self.targets.primaries if self.network.is_up(name)
+        )
+
+    def _crash_candidates(self) -> list[str]:
+        if len(self._down) >= self.config.max_concurrent_down:
+            return []
+        candidates = []
+        for name in self.targets.crashable():
+            if name in self._down or not self.network.is_up(name):
+                continue
+            if name in self.targets.primaries and self._live_primary_count() <= 1:
+                continue  # never kill the last serving primary
+            candidates.append(name)
+        return candidates
+
+    def _inject_crash(self) -> bool:
+        candidates = self._crash_candidates()
+        if not candidates:
+            return False
+        victim = self.rng.choice(candidates)
+        if not self.network.crash(victim):
+            return False
+        self._down.add(victim)
+        downtime = self.rng.uniform(*self.config.downtime)
+        self._record(
+            ChaosEvent(self.sim.now, "crash", victim, until=self.sim.now + downtime)
+        )
+        self.sim.schedule(downtime, self._recover, victim)
+        return True
+
+    def _recover(self, name: str) -> None:
+        if name not in self._down:
+            return
+        self._down.discard(name)
+        self._record(ChaosEvent(self.sim.now, "recover", name))
+        if self.repair is not None:
+            self.repair(name)
+        else:
+            self.network.recover(name)
+
+    def _inject_partition(self) -> bool:
+        if self._partition_active:
+            return False
+        # Cut a small minority of unprotected replicas off from the rest
+        # of the world (including the membership service, so heartbeat
+        # loss and eviction are part of the exercised behaviour).
+        pool = [n for n in self.targets.crashable() if n not in self._down]
+        if len(pool) < 2:
+            return False
+        size = self.rng.randint(1, max(1, len(pool) // 3))
+        minority = set(self.rng.sample(pool, size))
+        majority = [e for e in self.network.endpoints() if e not in minority]
+        self._partition_active = True
+        self.network.partition(sorted(minority), majority)
+        window = self.rng.uniform(*self.config.partition_window)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "partition", "+".join(sorted(minority)),
+                until=self.sim.now + window,
+                detail={"minority": sorted(minority)},
+            )
+        )
+        self.sim.schedule(window, self._heal_partition)
+        return True
+
+    def _heal_partition(self) -> None:
+        if not self._partition_active:
+            return
+        self._partition_active = False
+        self.network.heal_partitions()
+        self._record(ChaosEvent(self.sim.now, "heal", "network"))
+
+    def _inject_overload(self) -> bool:
+        pool = [
+            n
+            for n in (*self.targets.primaries, *self.targets.secondaries)
+            if n not in self.targets.protected
+            and self.network.host_of(n) is not None
+        ]
+        if not pool:
+            return False
+        victim = self.rng.choice(pool)
+        host = self.network.host_of(victim)
+        assert host is not None
+        factor = self.rng.uniform(*self.config.overload_factor)
+        window = self.rng.uniform(*self.config.overload_window)
+        host.begin_overload(factor)
+        self.sim.schedule(window, host.end_overload)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "overload", victim,
+                until=self.sim.now + window, detail={"factor": round(factor, 2)},
+            )
+        )
+        return True
+
+    def _inject_loss(self) -> bool:
+        if self._loss_active:
+            return False
+        probability = self.rng.uniform(*self.config.loss_probability)
+        window = self.rng.uniform(*self.config.loss_window)
+        self._loss_active = True
+        self.network.drop_probability = probability
+        self.sim.schedule(window, self._end_loss)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "loss", "network",
+                until=self.sim.now + window,
+                detail={"probability": round(probability, 4)},
+            )
+        )
+        return True
+
+    def _end_loss(self) -> None:
+        if not self._loss_active:
+            return
+        self._loss_active = False
+        self.network.drop_probability = self._base_drop
+        self._record(ChaosEvent(self.sim.now, "loss-end", "network"))
+
+    def _inject_membership_outage(self) -> bool:
+        name = self.targets.membership
+        if name is None or name in self._down:
+            return False
+        if len(self._down) >= self.config.max_concurrent_down:
+            return False
+        if not self.network.crash(name):
+            return False
+        self._down.add(name)
+        downtime = self.rng.uniform(*self.config.downtime)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "membership-outage", name,
+                until=self.sim.now + downtime,
+            )
+        )
+        self.sim.schedule(downtime, self._recover, name)
+        return True

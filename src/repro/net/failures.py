@@ -50,17 +50,27 @@ class FailureInjector:
         endpoint: str,
         recover_at: Optional[float] = None,
         on_crash: Optional[Callable[[], None]] = None,
+        on_recover: Optional[Callable[[], None]] = None,
     ) -> None:
         """Crash ``endpoint`` at ``time``; optionally recover later.
 
-        ``on_crash`` runs right after the crash takes effect, letting the
-        caller notify protocol layers (e.g. mark a replica handler down).
+        The endpoint must already be attached when the injection is
+        *scheduled* — typos in failure scripts fail fast instead of at
+        some later virtual time.  Scheduled crashes/recoveries inherit the
+        fabric's idempotent semantics: overlapping injections against the
+        same endpoint are safe, only real state transitions emit traces
+        and run the ``on_crash``/``on_recover`` hooks.
         """
+        if endpoint not in self.network.endpoints():
+            raise ValueError(f"cannot schedule crash of unknown endpoint {endpoint!r}")
 
         def do_crash() -> None:
-            self.network.crash(endpoint)
-            if on_crash is not None:
+            if self.network.crash(endpoint) and on_crash is not None:
                 on_crash()
+
+        def do_recover() -> None:
+            if self.network.recover(endpoint) and on_recover is not None:
+                on_recover()
 
         self.sim.schedule_at(time, do_crash)
         self._log(f"crash {endpoint} at {time}")
@@ -69,7 +79,7 @@ class FailureInjector:
                 raise ValueError(
                     f"recovery time {recover_at} not after crash time {time}"
                 )
-            self.sim.schedule_at(recover_at, self.network.recover, endpoint)
+            self.sim.schedule_at(recover_at, do_recover)
             self._log(f"recover {endpoint} at {recover_at}")
 
     # ------------------------------------------------------------------

@@ -150,16 +150,37 @@ class Network:
     # ------------------------------------------------------------------
     # Failures
     # ------------------------------------------------------------------
-    def crash(self, name: str) -> None:
-        """Stop ``name`` from sending or receiving until :meth:`recover`."""
+    def crash(self, name: str) -> bool:
+        """Stop ``name`` from sending or receiving until :meth:`recover`.
+
+        Idempotent: crashing an already-crashed endpoint is a no-op (no
+        duplicate trace record) and returns ``False``; the first crash
+        returns ``True``.  Unknown endpoints raise :class:`NetworkError`.
+        """
         if name not in self._endpoints:
             raise NetworkError(f"unknown endpoint {name!r}")
+        if name in self._crashed:
+            return False
         self._crashed.add(name)
         self.trace.emit(self.sim.now, "net.crash", name)
+        return True
 
-    def recover(self, name: str) -> None:
+    def recover(self, name: str) -> bool:
+        """Let a crashed endpoint send and receive again.
+
+        Idempotent: recovering an endpoint that is already up is a no-op
+        (no duplicate trace record) and returns ``False``; a real
+        transition returns ``True``.  Unknown endpoints raise
+        :class:`NetworkError` — silently "recovering" a name that was
+        never attached hid typos in failure scripts.
+        """
+        if name not in self._endpoints:
+            raise NetworkError(f"unknown endpoint {name!r}")
+        if name not in self._crashed:
+            return False
         self._crashed.discard(name)
         self.trace.emit(self.sim.now, "net.recover", name)
+        return True
 
     def is_up(self, name: str) -> bool:
         return name in self._endpoints and name not in self._crashed

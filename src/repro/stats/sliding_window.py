@@ -149,15 +149,22 @@ class PairWindow:
             raise ValueError(f"negative count {count!r}")
         if duration < 0:
             raise ValueError(f"negative duration {duration!r}")
-        if len(self._pairs) == self.size:
-            old_count, old_time = self._pairs[0]
-            self._count_sum -= old_count
-            self._time_sum -= old_time
+        evicting = len(self._pairs) == self.size
+        if evicting:
+            self._count_sum -= self._pairs[0][0]
         count = int(count)
         duration = float(duration)
         self._pairs.append((count, duration))
         self._count_sum += count
-        self._time_sum += duration
+        if evicting:
+            # Subtracting the evicted duration incrementally leaves float
+            # residue (catastrophic after a large entry leaves a small
+            # window, and non-zero when the true sum is exactly zero).
+            # The window is small, so re-sum the visible durations; the
+            # counts stay incremental — integer arithmetic is exact.
+            self._time_sum = sum(t for _, t in self._pairs)
+        else:
+            self._time_sum += duration
         self.version += 1
 
     def rate(self, default: float = 0.0) -> float:

@@ -198,3 +198,50 @@ def test_abandoned_messages_open_fresh_epoch(sim):
     sender.send("g", "b", "after")
     assert sent[-1].epoch == 1
     assert sent[-1].seq == 1
+
+
+def test_recover_secondary_under_concurrent_lazy_updates():
+    """Recovery while the lazy publisher is mid-stream: snapshots keep
+    flowing during the rejoin and the fresh channel epoch must not let the
+    secondary double-apply or miss one."""
+    testbed = make_testbed(lui=0.2)
+    service = testbed.service
+    client = service.create_client("c", read_only_methods={"get"})
+    victim = service.secondaries[0]
+
+    # A dense update stream so every lazy interval carries new state.
+    updates(testbed, client, 80, gap=0.05)
+    testbed.sim.schedule_at(1.0, testbed.network.crash, victim.name)
+    # Recover in the middle of the stream, not after it drains.
+    testbed.sim.schedule_at(2.0, service.recover_secondary, victim.name)
+    testbed.sim.run(until=12.0)
+
+    reference = service.secondaries[1]
+    assert victim.app.value == reference.app.value == 80
+    assert victim.my_csn == reference.my_csn == 80
+    assert victim.app.history == reference.app.history
+
+
+def test_recover_secondary_across_sequencer_failover():
+    """The sequencer dies while the secondary is still catching up; the
+    promoted leader's lazy publisher must finish the resync."""
+    testbed = make_testbed(lui=0.5)
+    service = testbed.service
+    client = service.create_client("c", read_only_methods={"get"})
+    victim = service.secondaries[0]
+
+    updates(testbed, client, 30, gap=0.1)
+    testbed.sim.schedule_at(1.0, testbed.network.crash, victim.name)
+    testbed.sim.schedule_at(2.5, service.recover_secondary, victim.name)
+    # Mid-recovery: the victim has rejoined but cannot have resynced yet
+    # (the next lazy round is still pending) when the sequencer dies.
+    testbed.sim.schedule_at(2.6, testbed.network.crash, "svc-seq")
+    testbed.sim.run(until=20.0)
+
+    assert service.primaries[0].is_sequencer
+    assert victim.name in testbed.membership.view_of("svc.secondary")
+    # Serving primaries shrink to p2 after p1's promotion; the victim
+    # still converges on the full committed history.
+    reference = service.primaries[1]
+    assert victim.app.value == reference.app.value == 30
+    assert victim.my_csn == reference.my_csn

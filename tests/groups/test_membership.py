@@ -182,3 +182,62 @@ def test_stale_view_not_adopted(stack):
     member.adopt_view(View("g", 5, ("a", "b")))
     member.adopt_view(View("g", 3, ("a",)))  # stale: ignored
     assert member.view_of("g").view_id == 5
+
+
+# ---------------------------------------------------------------------------
+# Membership-service outage amnesty
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def traced_stack(sim, network, trace):
+    service = MembershipService(trace=trace)
+    network.attach(service)
+    members = {}
+    for name in ("a", "b", "c"):
+        member = Member(name)
+        network.attach(member)
+        members[name] = member
+    return service, members
+
+
+def test_service_outage_does_not_mass_evict(sim, network, trace, traced_stack):
+    """While the membership service itself is down it hears no heartbeats;
+    its first sweep back up must grant amnesty, not evict everyone."""
+    service, members = traced_stack
+    for name in ("a", "b"):
+        members[name].join("g")
+    sim.run(until=1.0)
+    network.crash(service.name)
+    # Stay down well past the suspect timeout: every member's last
+    # heartbeat is now stale from the service's point of view.
+    sim.run(until=4.0)
+    network.recover(service.name)
+    sim.run(until=4.3)  # one sweep: amnesty, no evictions
+
+    assert set(service.view_of("g").members) == {"a", "b"}
+    amnesty = [r for r in trace.filter("membership.amnesty", service.name)]
+    assert len(amnesty) == 1
+    assert set(amnesty[0].detail["members"]) == {"a", "b"}
+
+
+def test_amnesty_does_not_resurrect_dead_members(sim, network, traced_stack):
+    """Amnesty only resets the clock; a member that stays silent after the
+    outage is still evicted one suspect window later."""
+    service, members = traced_stack
+    for name in ("a", "b"):
+        members[name].join("g")
+    sim.run(until=1.0)
+    network.crash(service.name)
+    network.crash("b")  # dies during the outage
+    sim.run(until=4.0)
+    network.recover(service.name)
+    sim.run(until=4.3)
+    assert set(service.view_of("g").members) == {"a", "b"}  # amnesty for all
+    sim.run(until=6.0)  # b never heartbeats again
+    assert set(service.view_of("g").members) == {"a"}
+
+
+def test_no_amnesty_without_outage(sim, network, trace, traced_stack):
+    service, members = traced_stack
+    members["a"].join("g")
+    sim.run(until=5.0)
+    assert not list(trace.filter("membership.amnesty"))

@@ -1,0 +1,222 @@
+"""Unit tests for the seeded chaos engine (schedule determinism and
+safety constraints; the full-stack invariant audit lives in
+tests/experiments/test_chaos.py)."""
+
+import random
+
+import pytest
+
+from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
+from repro.net.latency import FixedLatency
+from repro.net.network import Endpoint, Network
+from repro.net.node import Host
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class Sink(Endpoint):
+    def deliver(self, message):
+        pass
+
+
+PRIMARIES = ("p1", "p2", "p3")
+SECONDARIES = ("s1", "s2")
+
+
+def make_fabric():
+    sim = Simulator()
+    network = Network(sim, RngRegistry(99), FixedLatency(0.001))
+    for name in (*PRIMARIES, *SECONDARIES, "seq"):
+        network.attach(Sink(name), Host(f"host-{name}"))
+    return sim, network
+
+
+def make_engine(network, seed=7, config=None, **target_kwargs):
+    targets = ChaosTargets(
+        primaries=PRIMARIES,
+        secondaries=SECONDARIES,
+        sequencer="seq",
+        **target_kwargs,
+    )
+    return ChaosEngine(
+        network,
+        targets,
+        config or ChaosConfig(duration=10.0, mean_interval=0.3),
+        rng=random.Random(seed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Configuration and target validation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"duration": 0.0},
+        {"mean_interval": 0.0},
+        {"max_concurrent_down": 0},
+        {"downtime": (0.0, 1.0)},
+        {"downtime": (2.0, 1.0)},
+        {"loss_probability": (0.2, 0.1)},
+    ],
+)
+def test_chaos_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        ChaosConfig(**kwargs)
+
+
+def test_crashable_excludes_protected():
+    targets = ChaosTargets(
+        primaries=PRIMARIES,
+        secondaries=SECONDARIES,
+        sequencer="seq",
+        protected=("p1", "seq"),
+    )
+    names = targets.crashable()
+    assert "p1" not in names
+    assert "seq" not in names
+    assert set(names) == {"p2", "p3", "s1", "s2"}
+
+
+def test_start_twice_rejected():
+    _, network = make_fabric()
+    engine = make_engine(network)
+    engine.start()
+    with pytest.raises(RuntimeError):
+        engine.start()
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+def schedule_of(seed):
+    sim, network = make_fabric()
+    engine = make_engine(network, seed=seed)
+    engine.start()
+    sim.run(until=15.0)
+    return [(e.time, e.kind, e.target) for e in engine.events]
+
+
+def test_same_seed_replays_identical_schedule():
+    first = schedule_of(7)
+    second = schedule_of(7)
+    assert first == second
+    assert len(first) > 3  # the campaign actually did things
+
+
+def test_different_seed_differs():
+    assert schedule_of(7) != schedule_of(8)
+
+
+# ---------------------------------------------------------------------------
+# Safety constraints
+# ---------------------------------------------------------------------------
+def test_protected_endpoints_are_never_faulted():
+    sim, network = make_fabric()
+    engine = make_engine(network, protected=("p1",))
+    engine.start()
+
+    def sample():
+        assert network.is_up("p1")
+        sim.schedule(0.05, sample)
+
+    sim.schedule(0.05, sample)
+    sim.run(until=15.0)
+    assert engine.faults_injected > 0
+    for event in engine.events:
+        assert event.target != "p1"
+        assert "p1" not in event.detail.get("minority", ())
+
+
+def test_at_least_one_serving_primary_stays_live():
+    sim, network = make_fabric()
+    # Crash-only campaign with room to take everything down if unchecked.
+    config = ChaosConfig(
+        duration=12.0,
+        mean_interval=0.1,
+        crash_weight=1.0,
+        partition_weight=0.0,
+        overload_weight=0.0,
+        loss_weight=0.0,
+        max_concurrent_down=6,
+        downtime=(2.0, 4.0),
+    )
+    engine = make_engine(network, config=config)
+    engine.start()
+
+    def sample():
+        assert any(network.is_up(p) for p in PRIMARIES)
+        sim.schedule(0.05, sample)
+
+    sim.schedule(0.05, sample)
+    sim.run(until=20.0)
+    assert engine.faults_injected > 0
+
+
+def test_concurrent_crashes_bounded():
+    sim, network = make_fabric()
+    config = ChaosConfig(
+        duration=12.0,
+        mean_interval=0.1,
+        partition_weight=0.0,
+        overload_weight=0.0,
+        loss_weight=0.0,
+        max_concurrent_down=2,
+        downtime=(2.0, 4.0),
+    )
+    engine = make_engine(network, config=config)
+    engine.start()
+
+    def sample():
+        down = sum(1 for n in network.endpoints() if not network.is_up(n))
+        assert down <= 2
+        sim.schedule(0.05, sample)
+
+    sim.schedule(0.05, sample)
+    sim.run(until=20.0)
+    assert engine.faults_skipped > 0  # the cap actually bit
+
+
+# ---------------------------------------------------------------------------
+# End-of-campaign healing
+# ---------------------------------------------------------------------------
+def test_world_is_healed_after_campaign():
+    sim, network = make_fabric()
+    base_drop = network.drop_probability
+    engine = make_engine(network, seed=3)
+    engine.start()
+    sim.run(until=30.0)
+
+    assert engine.finished
+    assert all(network.is_up(name) for name in network.endpoints())
+    assert network.drop_probability == base_drop
+    hosts = [network.host_of(n) for n in (*PRIMARIES, *SECONDARIES)]
+    assert not any(h.overloaded for h in hosts if h is not None)
+
+
+def test_repair_callback_replaces_plain_recover():
+    sim, network = make_fabric()
+    repaired = []
+    config = ChaosConfig(
+        duration=8.0,
+        mean_interval=0.2,
+        partition_weight=0.0,
+        overload_weight=0.0,
+        loss_weight=0.0,
+        downtime=(0.5, 1.0),
+    )
+    targets = ChaosTargets(primaries=PRIMARIES, secondaries=SECONDARIES)
+
+    def repair(name):
+        network.recover(name)
+        repaired.append(name)
+
+    engine = ChaosEngine(
+        network, targets, config, rng=random.Random(5), repair=repair
+    )
+    engine.start()
+    sim.run(until=15.0)
+    crashed = [e.target for e in engine.events if e.kind == "crash"]
+    assert crashed  # something actually went down
+    assert repaired == [e.target for e in engine.events if e.kind == "recover"]
+    assert all(network.is_up(name) for name in network.endpoints())

@@ -134,3 +134,76 @@ def test_injector_log(sim, net):
     injector = FailureInjector(network)
     injector.crash_at(1.0, "b")
     assert any("crash b" in line for line in injector.injected)
+
+
+# ---------------------------------------------------------------------------
+# Idempotent crash / recover semantics
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def traced_net(sim, network, trace):
+    a, b = Sink("a"), Sink("b")
+    network.attach(a)
+    network.attach(b)
+    return network, trace
+
+
+def test_crash_is_idempotent(traced_net):
+    network, trace = traced_net
+    assert network.crash("a") is True
+    assert network.crash("a") is False  # already down: no-op
+    assert trace.count("net.crash", "a") == 1
+
+
+def test_recover_is_idempotent(traced_net):
+    network, trace = traced_net
+    assert network.recover("a") is False  # already up: no-op
+    network.crash("a")
+    assert network.recover("a") is True
+    assert network.recover("a") is False
+    assert trace.count("net.recover", "a") == 1
+
+
+def test_crash_recover_unknown_endpoint_raises(traced_net):
+    from repro.net.network import NetworkError
+
+    network, _ = traced_net
+    with pytest.raises(NetworkError):
+        network.crash("ghost")
+    with pytest.raises(NetworkError):
+        network.recover("ghost")
+
+
+def test_crash_at_rejects_unknown_endpoint(traced_net):
+    network, _ = traced_net
+    with pytest.raises(ValueError):
+        FailureInjector(network).crash_at(1.0, "ghost")
+
+
+def test_overlapping_injections_fire_hooks_once(sim, traced_net, recorder):
+    """Two overlapping crash windows against the same endpoint: hooks and
+    traces follow the real state transitions, not the injection count."""
+    network, trace = traced_net
+    injector = FailureInjector(network)
+    injector.crash_at(
+        1.0, "b", recover_at=3.0,
+        on_crash=lambda: recorder("crash1"), on_recover=lambda: recorder("up1"),
+    )
+    injector.crash_at(
+        2.0, "b", recover_at=4.0,
+        on_crash=lambda: recorder("crash2"), on_recover=lambda: recorder("up2"),
+    )
+    sim.run()
+    # b goes down once (at 1.0) and comes back once (at 3.0); the second
+    # crash and the second recovery are no-ops.
+    assert recorder.calls == ["crash1", "up1"]
+    assert trace.count("net.crash", "b") == 1
+    assert trace.count("net.recover", "b") == 1
+
+
+def test_on_recover_hook_runs(sim, traced_net, recorder):
+    network, _ = traced_net
+    FailureInjector(network).crash_at(
+        1.0, "b", recover_at=2.0, on_recover=lambda: recorder("up")
+    )
+    sim.run()
+    assert recorder.calls == ["up"]
