@@ -1,0 +1,121 @@
+"""Telemetry overhead benchmarks (ISSUE 4).
+
+The acceptance bound: with telemetry disabled, the cost one instrument
+call adds to an instrumented code path must be under 3 % of the cost of
+one simulation-kernel event — i.e. turning the registry off makes the
+telemetry layer disappear relative to the work the simulator is already
+doing per event.
+
+Run: ``pytest benchmarks/test_bench_obs.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.sim.kernel import Simulator
+
+OPS = 200_000
+KERNEL_EVENTS = 50_000
+
+
+def _noop() -> None:
+    return None
+
+
+def _kernel_per_event_s() -> float:
+    """Seconds per schedule+fire kernel event (median of 3 runs)."""
+    samples = []
+    for _ in range(3):
+        sim = Simulator()
+        t0 = time.perf_counter()
+        for i in range(KERNEL_EVENTS):
+            sim.schedule(1.0 + (i % 1000) * 1e-4, _noop)
+        sim.run()
+        samples.append((time.perf_counter() - t0) / KERNEL_EVENTS)
+    return sorted(samples)[1]
+
+
+def _per_op_s(fn, ops: int = OPS) -> float:
+    """Seconds per call of ``fn`` over ``ops`` iterations (median of 3),
+    with the cost of the bare loop subtracted."""
+
+    def timed(body) -> float:
+        samples = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(ops):
+                body()
+            samples.append((time.perf_counter() - t0) / ops)
+        return sorted(samples)[1]
+
+    return max(0.0, timed(fn) - timed(_noop))
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_disabled_instruments_vanish_against_kernel_events(benchmark, report):
+    per_event = _kernel_per_event_s()
+
+    noop_counter = NULL_METRICS.counter("bench_counter")
+    noop_hist = NULL_METRICS.histogram("bench_hist")
+    enabled = MetricsRegistry()
+    live_counter = enabled.counter("bench_counter")
+    live_hist = enabled.histogram("bench_hist")
+
+    costs = {
+        "disabled counter.inc": _per_op_s(noop_counter.inc),
+        "disabled histogram.observe": _per_op_s(lambda: noop_hist.observe(0.01)),
+        "enabled counter.inc": _per_op_s(live_counter.inc),
+        "enabled histogram.observe": _per_op_s(lambda: live_hist.observe(0.01)),
+    }
+    benchmark.pedantic(noop_counter.inc, rounds=3, iterations=OPS)
+
+    rows = [
+        (name, f"{1e9 * cost:.1f}", f"{100 * cost / per_event:.2f}%")
+        for name, cost in costs.items()
+    ]
+    report("")
+    report(
+        format_table(
+            ["instrument call", "ns/op", "% of one kernel event"],
+            rows,
+            title=(
+                "Telemetry overhead vs simulation-kernel event cost "
+                f"(kernel: {1e9 * per_event:.0f} ns/event)"
+            ),
+        )
+    )
+
+    # The acceptance bound: a disabled instrument call costs < 3 % of one
+    # kernel event, so per-event instrumentation is free when off.
+    for name in ("disabled counter.inc", "disabled histogram.observe"):
+        ratio = costs[name] / per_event
+        assert ratio < 0.03, (
+            f"{name} costs {100 * ratio:.2f}% of a kernel event (bound: 3%)"
+        )
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_span_emission_disabled_is_one_attribute_check(benchmark, report):
+    """Instrumented code guards span construction on ``trace.enabled``, so
+    the disabled cost is the guard itself — far below one kernel event."""
+    from repro.sim.tracing import NULL_TRACE
+
+    per_event = _kernel_per_event_s()
+
+    def guarded_emit() -> None:
+        if NULL_TRACE.enabled:  # pragma: no cover - never taken
+            NULL_TRACE.emit(0.0, "span", "bench", span="req-0", name="x")
+
+    cost = _per_op_s(guarded_emit)
+    benchmark.pedantic(guarded_emit, rounds=3, iterations=OPS)
+    ratio = cost / per_event
+    report(
+        f"disabled span guard: {1e9 * cost:.1f} ns/op "
+        f"({100 * ratio:.2f}% of one kernel event)"
+    )
+    assert ratio < 0.03

@@ -7,6 +7,7 @@ Commands:
 * ``ablations`` — the A1–A9 parameter/baseline/failure/extension studies;
 * ``validation`` — staleness-model calibration + hot-spot avoidance;
 * ``chaos`` — seeded fault campaigns audited by consistency invariants;
+* ``metrics`` — one instrumented cell: telemetry + calibration report;
 * ``info`` — reproduction summary and module inventory.
 
 ``--quick`` runs reduced sweeps everywhere it is meaningful.
@@ -25,6 +26,8 @@ def _cmd_figure3(args: argparse.Namespace) -> None:
     argv = []
     if args.save:
         argv += ["--save", args.save]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
     figure3.main(argv)
 
 
@@ -38,6 +41,8 @@ def _cmd_figure4(args: argparse.Namespace) -> None:
     argv = ["--quick"] if args.quick else []
     if args.save:
         argv += ["--save", args.save]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
     figure4.main(argv + _jobs_argv(args))
 
 
@@ -74,6 +79,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return chaos.main(argv)
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.experiments import telemetry
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    for flag, value in (
+        ("--deadline-ms", args.deadline_ms),
+        ("--pc", args.pc),
+        ("--lui", args.lui),
+        ("--requests", args.requests),
+        ("--seed", args.seed),
+        ("--watch", args.watch),
+        ("--metrics-out", args.metrics_out),
+        ("--prometheus", args.prometheus),
+    ):
+        if value is not None:
+            argv += [flag, str(value)]
+    if args.check:
+        argv.append("--check")
+    return telemetry.main(argv)
+
+
 def _cmd_info(args: argparse.Namespace) -> None:
     import repro
 
@@ -92,6 +120,7 @@ def _cmd_info(args: argparse.Namespace) -> None:
         ("repro.baselines", "naive selection strategies for comparison"),
         ("repro.apps", "KV store, shared document, stock ticker"),
         ("repro.workloads", "closed-loop §6 clients, open-loop generators"),
+        ("repro.obs", "telemetry: metrics registry, span trees, calibration"),
         ("repro.experiments", "figure/ablation/validation harnesses"),
     ]:
         print(f"  {module:20s} {summary}")
@@ -109,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p3 = sub.add_parser("figure3", help="selection overhead (Figure 3)")
     p3.add_argument("--save", metavar="PATH", help="write results as JSON")
+    p3.add_argument(
+        "--metrics-out", metavar="PATH", help="write telemetry as JSONL"
+    )
     p3.set_defaults(func=_cmd_figure3)
 
     jobs_help = "worker processes for independent cells (0 = all cores)"
@@ -116,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     p4 = sub.add_parser("figure4", help="adaptivity sweep (Figure 4)")
     p4.add_argument("--quick", action="store_true")
     p4.add_argument("--save", metavar="PATH", help="write results as JSON")
+    p4.add_argument(
+        "--metrics-out", metavar="PATH", help="write telemetry as JSONL"
+    )
     p4.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
     p4.set_defaults(func=_cmd_figure4)
 
@@ -143,6 +178,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", metavar="DIR", help="dump traces of violating campaigns"
     )
     pc.set_defaults(func=_cmd_chaos)
+
+    pm = sub.add_parser(
+        "metrics", help="instrumented cell: telemetry + calibration report"
+    )
+    pm.add_argument("--deadline-ms", type=int, default=None)
+    pm.add_argument("--pc", type=float, default=None)
+    pm.add_argument("--lui", type=float, default=None)
+    pm.add_argument("--requests", type=int, default=None)
+    pm.add_argument("--seed", type=int, default=None)
+    pm.add_argument("--quick", action="store_true")
+    pm.add_argument("--watch", type=float, default=None, metavar="SECONDS")
+    pm.add_argument("--metrics-out", metavar="PATH")
+    pm.add_argument("--prometheus", metavar="PATH")
+    pm.add_argument("--check", action="store_true")
+    pm.set_defaults(func=_cmd_metrics)
 
     pi = sub.add_parser("info", help="reproduction summary")
     pi.set_defaults(func=_cmd_info)

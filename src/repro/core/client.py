@@ -38,6 +38,9 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.core.prediction import ResponseTimePredictor
 from repro.core.qos import QoSSpec
+from repro.obs.calibration import CalibrationTracker
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import emit_span, span_root
 from repro.core.replica import ServiceGroups
 from repro.core.repository import ClientInfoRepository
 from repro.core.requests import (
@@ -50,7 +53,12 @@ from repro.core.requests import (
     UpdateOutcome,
     next_request_id,
 )
-from repro.core.selection import ReplicaView, SelectionStrategy, StateBasedSelection
+from repro.core.selection import (
+    ReplicaView,
+    SelectionStrategy,
+    StateBasedSelection,
+    set_success_probability,
+)
 from repro.core.staleness import StalenessModel
 from repro.groups.group import GroupEndpoint
 from repro.groups.membership import View
@@ -128,6 +136,10 @@ class _PendingCall:
     retry_targets: set[str] = field(default_factory=set)
     hedge_targets: set[str] = field(default_factory=set)
     retries: int = 0
+    # Telemetry: the full-set success forecast scored by the calibration
+    # tracker, and a monotone counter naming dispatch spans across retries.
+    predicted: Optional[float] = None
+    dispatches: int = 0
 
 
 class ClientHandler(GroupEndpoint):
@@ -153,10 +165,17 @@ class ClientHandler(GroupEndpoint):
         trace: Trace = NULL_TRACE,
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
+        calibration: Optional[CalibrationTracker] = None,
     ) -> None:
         super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
         self.groups = groups
         self.registry = ReadOnlyRegistry(read_only_methods)
+        # The counters below are load-bearing (timely_fraction drives the
+        # QoS-violation callback), so a missing registry means a private
+        # enabled one, never the no-op NULL_METRICS.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.calibration = calibration
         # The repository's windows share the predictor's quantum so their
         # incremental histograms feed pmf construction directly.
         self.repository = ClientInfoRepository(window_size, quantum=quantum)
@@ -166,6 +185,8 @@ class ClientHandler(GroupEndpoint):
             quantum=quantum,
             staleness_model=staleness_model,
             use_cache=use_prediction_cache,
+            metrics=self.metrics,
+            metrics_labels={"client": name},
         )
         self.strategy = strategy or StateBasedSelection()
         self.default_qos = default_qos
@@ -182,17 +203,27 @@ class ClientHandler(GroupEndpoint):
         # delay sample and an ert refresh.
         self._recent_tm: "OrderedDict[int, float]" = OrderedDict()
 
-        # Metrics the experiments consume.
-        self.reads_issued = 0
-        self.reads_resolved = 0
+        # Metrics the experiments consume, registry-backed; the historical
+        # attribute names survive as read-only properties below.
+        labels = {"client": name}
+        counter = self.metrics.counter
+        self._m_reads_issued = counter("client_reads_issued", **labels)
+        self._m_reads_resolved = counter("client_reads_resolved", **labels)
         # Reads whose timing outcome is known: resolved reads plus pending
         # reads whose deadline has already passed.  The failure frequency
         # is judged against this so it is well-defined mid-flight.
-        self.reads_judged = 0
-        self.updates_issued = 0
-        self.updates_resolved = 0
-        self.timing_failures = 0
-        self.deferred_replies = 0
+        self._m_reads_judged = counter("client_reads_judged", **labels)
+        self._m_updates_issued = counter("client_updates_issued", **labels)
+        self._m_updates_resolved = counter("client_updates_resolved", **labels)
+        self._m_timing_failures = counter("client_timing_failures", **labels)
+        self._m_deferred_replies = counter("client_deferred_replies", **labels)
+        self._m_replicas_selected = counter("client_replicas_selected", **labels)
+        self._h_response_time = self.metrics.histogram(
+            "client_response_time_seconds", **labels
+        )
+        self._h_selection_overhead = self.metrics.histogram(
+            "client_selection_overhead_seconds", **labels
+        )
         self.selected_counts: list[int] = []
         self.response_times: list[float] = []
         self.selection_overheads: list[float] = []  # wall-clock seconds (Fig. 3)
@@ -200,12 +231,71 @@ class ClientHandler(GroupEndpoint):
 
         # Retry/hedge accounting, kept separate from the timing statistics
         # so ``observed_failure_probability`` stays honest (§5.4).
-        self.retries_sent = 0
-        self.hedges_sent = 0
-        self.failover_redispatches = 0
-        self.retry_resolved = 0  # first delivered reply came from a retry
-        self.hedge_resolved = 0  # first delivered reply came from the hedge
-        self.reads_salvaged = 0  # judged failed at the deadline, value later
+        self._m_retries_sent = counter("client_retries_sent", **labels)
+        self._m_hedges_sent = counter("client_hedges_sent", **labels)
+        self._m_failover_redispatches = counter(
+            "client_failover_redispatches", **labels
+        )
+        # resolved counters: the first delivered reply came from a retry /
+        # the hedge; salvaged: judged failed at the deadline, value later.
+        self._m_retry_resolved = counter("client_retry_resolved", **labels)
+        self._m_hedge_resolved = counter("client_hedge_resolved", **labels)
+        self._m_reads_salvaged = counter("client_reads_salvaged", **labels)
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters, exposed under their historical names.
+    # ------------------------------------------------------------------
+    @property
+    def reads_issued(self) -> int:
+        return self._m_reads_issued.value
+
+    @property
+    def reads_resolved(self) -> int:
+        return self._m_reads_resolved.value
+
+    @property
+    def reads_judged(self) -> int:
+        return self._m_reads_judged.value
+
+    @property
+    def updates_issued(self) -> int:
+        return self._m_updates_issued.value
+
+    @property
+    def updates_resolved(self) -> int:
+        return self._m_updates_resolved.value
+
+    @property
+    def timing_failures(self) -> int:
+        return self._m_timing_failures.value
+
+    @property
+    def deferred_replies(self) -> int:
+        return self._m_deferred_replies.value
+
+    @property
+    def retries_sent(self) -> int:
+        return self._m_retries_sent.value
+
+    @property
+    def hedges_sent(self) -> int:
+        return self._m_hedges_sent.value
+
+    @property
+    def failover_redispatches(self) -> int:
+        return self._m_failover_redispatches.value
+
+    @property
+    def retry_resolved(self) -> int:
+        return self._m_retry_resolved.value
+
+    @property
+    def hedge_resolved(self) -> int:
+        return self._m_hedge_resolved.value
+
+    @property
+    def reads_salvaged(self) -> int:
+        return self._m_reads_salvaged.value
 
     # ------------------------------------------------------------------
     # Public API
@@ -298,9 +388,15 @@ class ClientHandler(GroupEndpoint):
         pending.gc_event = self.sim.schedule(
             self.gc_timeout, self._garbage_collect, request.request_id
         )
+        if self.trace.enabled:
+            emit_span(
+                self.trace, self.now, self.name,
+                span_root(request.request_id), "update", method=method,
+            )
         for target in targets:
+            self._emit_dispatch(pending, target, "update")
             self.gsend(self.groups.qos, target, request)
-        self.updates_issued += 1
+        self._m_updates_issued.inc()
         self.trace.emit(
             self.now, "client.update", self.name,
             request_id=request.request_id, targets=targets,
@@ -319,9 +415,10 @@ class ClientHandler(GroupEndpoint):
     ) -> int:
         t0 = self.now
         started = time.perf_counter()
-        selection = self._select_replicas(qos)
+        selection, predicted = self._select_replicas(qos)
         overhead = time.perf_counter() - started
         self.selection_overheads.append(overhead)
+        self._h_selection_overhead.observe(overhead)
 
         request = Request(
             request_id=next_request_id(),
@@ -344,10 +441,22 @@ class ClientHandler(GroupEndpoint):
         )
         pending.live = set(selection)
         pending.tried = set(selection)
+        pending.predicted = predicted
         self._pending[request.request_id] = pending
         self._remember_tm(request.request_id, tm)
-        self.reads_issued += 1
+        self._m_reads_issued.inc()
+        self._m_replicas_selected.inc(len(selection))
         self.selected_counts.append(len(selection))
+        if self.trace.enabled:
+            emit_span(
+                self.trace, self.now, self.name,
+                span_root(request.request_id), "read",
+                method=method, deadline=qos.deadline,
+                min_probability=qos.min_probability,
+                predicted=predicted, selected=len(selection),
+            )
+            for target in selection:
+                self._emit_dispatch(pending, target, "select")
 
         targets = list(selection)
         policy = self.retry_policy
@@ -365,11 +474,13 @@ class ClientHandler(GroupEndpoint):
                 pending.live.add(extra)
                 pending.tried.add(extra)
                 pending.hedge_targets.add(extra)
-                self.hedges_sent += 1
+                self._m_hedges_sent.inc()
+                self._emit_dispatch(pending, extra, "hedge")
         if self.has_sequencer:
             sequencer = self.view_of(self.groups.primary).leader
             if sequencer is not None and sequencer not in targets:
                 targets.append(sequencer)  # line 13/16: K extended with it
+                self._emit_dispatch(pending, sequencer, "sequencer")
 
         def transmit() -> None:
             for target in targets:
@@ -406,13 +517,53 @@ class ClientHandler(GroupEndpoint):
         while len(self._recent_tm) > 4096:
             self._recent_tm.popitem(last=False)
 
-    def _select_replicas(self, qos: QoSSpec) -> tuple[str, ...]:
+    def _select_replicas(
+        self, qos: QoSSpec
+    ) -> tuple[tuple[str, ...], Optional[float]]:
         candidates = self._candidates(qos)
         stale_factor = self.predictor.staleness_factor(
             qos.staleness_threshold, self.now
         )
         result = self.strategy.select(candidates, qos, stale_factor)
-        return result.replicas
+        predicted: Optional[float] = None
+        if self.calibration is not None or self.trace.enabled:
+            # The calibration forecast folds in *all* selected replicas —
+            # SelectionResult.predicted_probability deliberately excludes
+            # the best one (fault tolerance) and would read conservative.
+            predicted = set_success_probability(
+                candidates,
+                result.replicas,
+                stale_factor,
+                getattr(self.strategy, "correlated_deferral", False),
+            )
+        return result.replicas, predicted
+
+    def _emit_dispatch(self, pending: _PendingCall, target: str, reason: str) -> None:
+        """Span for one transmission of the request to one target."""
+        if not self.trace.enabled:
+            return
+        root = span_root(pending.request.request_id)
+        span_id = f"{root}/d{pending.dispatches}"
+        pending.dispatches += 1
+        emit_span(
+            self.trace, self.now, self.name, span_id, "dispatch",
+            parent_id=root, target=target, reason=reason,
+        )
+
+    def _judge(self, pending: _PendingCall, timely: bool) -> None:
+        """One-shot verdict hook: calibration sample + judgement span.
+
+        Called exactly once per read, at whichever of reply / deadline /
+        garbage-collection first decides the timing outcome.
+        """
+        if self.calibration is not None and pending.predicted is not None:
+            self.calibration.observe(self.strategy.name, pending.predicted, timely)
+        if self.trace.enabled:
+            root = span_root(pending.request.request_id)
+            emit_span(
+                self.trace, self.now, self.name, f"{root}/j", "judge",
+                parent_id=root, timely=timely, predicted=pending.predicted,
+            )
 
     def _candidates(self, qos: QoSSpec) -> list[ReplicaView]:
         """Build the ``V`` tuples of Algorithm 1 from the repository."""
@@ -503,20 +654,22 @@ class ClientHandler(GroupEndpoint):
         if pending.request.kind is RequestKind.READ:
             assert pending.qos is not None
             timing_failure = pending.failed or response_time > pending.qos.deadline
-            self.reads_resolved += 1
+            self._m_reads_resolved.inc()
             if not pending.failed:
-                self.reads_judged += 1
+                self._m_reads_judged.inc()
                 if timing_failure:
-                    self.timing_failures += 1
+                    self._m_timing_failures.inc()
+                self._judge(pending, timely=not timing_failure)
             elif reply.value is not None:
-                self.reads_salvaged += 1
+                self._m_reads_salvaged.inc()
             if reply.replica in pending.retry_targets:
-                self.retry_resolved += 1
+                self._m_retry_resolved.inc()
             elif reply.replica in pending.hedge_targets:
-                self.hedge_resolved += 1
+                self._m_hedge_resolved.inc()
             if reply.deferred:
-                self.deferred_replies += 1
+                self._m_deferred_replies.inc()
             self.response_times.append(response_time)
+            self._h_response_time.observe(response_time)
             outcome = ReadOutcome(
                 request_id=reply.request_id,
                 value=reply.value,
@@ -529,13 +682,21 @@ class ClientHandler(GroupEndpoint):
             )
             self._check_violation(pending.qos)
         else:
-            self.updates_resolved += 1
+            self._m_updates_resolved.inc()
             outcome = UpdateOutcome(
                 request_id=reply.request_id,
                 value=reply.value,
                 response_time=response_time,
                 first_replica=reply.replica,
                 gsn=reply.gsn,
+            )
+        if self.trace.enabled:
+            root = span_root(reply.request_id)
+            emit_span(
+                self.trace, self.now, self.name, f"{root}/r", "reply",
+                parent_id=root, replica=reply.replica,
+                response_time=response_time, gsn=reply.gsn,
+                deferred=reply.deferred,
             )
         self.trace.emit(
             self.now, "client.reply", self.name,
@@ -555,8 +716,9 @@ class ClientHandler(GroupEndpoint):
         # No reply by the deadline: a timing failure, counted once even if
         # a (late) reply arrives afterwards.
         pending.failed = True
-        self.timing_failures += 1
-        self.reads_judged += 1
+        self._m_timing_failures.inc()
+        self._m_reads_judged.inc()
+        self._judge(pending, timely=False)
         self.trace.emit(
             self.now, "client.timing-failure", self.name, request_id=request_id
         )
@@ -612,7 +774,8 @@ class ClientHandler(GroupEndpoint):
         pending.tried.add(target)
         pending.live.add(target)
         pending.retry_targets.add(target)
-        self.retries_sent += 1
+        self._m_retries_sent.inc()
+        self._emit_dispatch(pending, target, reason)
         self.gsend(self.groups.qos, target, pending.request)
         self.trace.emit(
             self.now, "client.retry", self.name,
@@ -668,7 +831,7 @@ class ClientHandler(GroupEndpoint):
             if pending.live:
                 continue  # another selected replica may still answer
             if self._retry_dispatch(pending, reason="failover"):
-                self.failover_redispatches += 1
+                self._m_failover_redispatches.inc()
 
     def recovery_stats(self) -> dict[str, int]:
         """Retry/hedge/failover counters for the experiment reports."""
@@ -697,10 +860,11 @@ class ClientHandler(GroupEndpoint):
         if pending.retry_event is not None:
             pending.retry_event.cancel()
         if pending.request.kind is RequestKind.READ:
-            self.reads_resolved += 1
+            self._m_reads_resolved.inc()
             if not pending.failed:
-                self.timing_failures += 1
-                self.reads_judged += 1
+                self._m_timing_failures.inc()
+                self._m_reads_judged.inc()
+                self._judge(pending, timely=False)
             outcome: Any = ReadOutcome(
                 request_id=request_id,
                 value=None,

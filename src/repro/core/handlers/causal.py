@@ -38,6 +38,7 @@ from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
 from repro.core.requests import LazyUpdate, Reply, Request, RequestKind
 from repro.core.state import ReplicatedObject
 from repro.groups.membership import View
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import VectorClock
 from repro.sim.rng import Distribution, RngRegistry
 from repro.sim.tracing import NULL_TRACE, Trace
@@ -72,6 +73,7 @@ class CausalReplicaHandler(ReplicaHandlerBase):
         publish_performance: bool = True,
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             name,
@@ -84,6 +86,7 @@ class CausalReplicaHandler(ReplicaHandlerBase):
             publish_performance=publish_performance,
             heartbeat_interval=heartbeat_interval,
             rto=rto,
+            metrics=metrics,
         )
         if lazy_update_interval <= 0:
             raise ValueError(
@@ -95,8 +98,8 @@ class CausalReplicaHandler(ReplicaHandlerBase):
         self._blocked_reads: list[PendingRequest] = []
         self._update_in_flight = False
         self._lazy_epoch = 0
-        self.lazy_updates_sent = 0
-        self.lazy_updates_applied = 0
+        self._m_lazy_updates_sent = self._counter("replica_lazy_updates_sent")
+        self._m_lazy_updates_applied = self._counter("replica_lazy_updates_applied")
         self.causal_delays = 0  # updates that had to wait for dependencies
 
     # ------------------------------------------------------------------
@@ -179,13 +182,21 @@ class CausalReplicaHandler(ReplicaHandlerBase):
                 still_blocked.append(pending)
         self._blocked_reads = still_blocked
 
+    @property
+    def lazy_updates_sent(self) -> int:
+        return self._m_lazy_updates_sent.value
+
+    @property
+    def lazy_updates_applied(self) -> int:
+        return self._m_lazy_updates_applied.value
+
     def execute(self, pending: PendingRequest) -> Any:
         value = super().execute(pending)
         if pending.request.kind is RequestKind.UPDATE:
             stamp: CausalStamp = pending.request.context
             self.vc.merge(VectorClock(stamp.deps))
             self.vc.increment(stamp.writer)
-            self.updates_committed += 1
+            self._m_updates_committed.inc()
         return value
 
     def after_complete(self, pending: PendingRequest) -> None:
@@ -215,7 +226,7 @@ class CausalReplicaHandler(ReplicaHandlerBase):
                 snapshot=(self.app.snapshot(), self.vc.as_dict()),
             )
             self.gmcast(self.groups.secondary, update, size_bytes=1024)
-            self.lazy_updates_sent += 1
+            self._m_lazy_updates_sent.inc()
         self.sim.schedule(self.lazy_update_interval, self._lazy_tick)
 
     def _on_lazy_update(self, update: LazyUpdate) -> None:
@@ -226,7 +237,7 @@ class CausalReplicaHandler(ReplicaHandlerBase):
         if incoming.dominates(self.vc) and incoming.total() > self.vc.total():
             self.app.restore(app_snapshot)
             self.vc = incoming
-            self.lazy_updates_applied += 1
+            self._m_lazy_updates_applied.inc()
             self._release_reads()
 
     def on_view_change(self, view: View, previous: Optional[View]) -> None:

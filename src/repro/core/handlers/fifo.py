@@ -22,6 +22,7 @@ from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
 from repro.core.requests import LazyUpdate, Request, RequestKind
 from repro.core.state import ReplicatedObject
 from repro.groups.membership import View
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.rng import Distribution, RngRegistry
 from repro.sim.tracing import NULL_TRACE, Trace
 
@@ -42,6 +43,7 @@ class FifoReplicaHandler(ReplicaHandlerBase):
         publish_performance: bool = True,
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             name,
@@ -54,6 +56,7 @@ class FifoReplicaHandler(ReplicaHandlerBase):
             publish_performance=publish_performance,
             heartbeat_interval=heartbeat_interval,
             rto=rto,
+            metrics=metrics,
         )
         if lazy_update_interval <= 0:
             raise ValueError(
@@ -62,8 +65,16 @@ class FifoReplicaHandler(ReplicaHandlerBase):
         self.lazy_update_interval = lazy_update_interval
         self.commit_count = 0
         self._lazy_epoch = 0
-        self.lazy_updates_sent = 0
-        self.lazy_updates_applied = 0
+        self._m_lazy_updates_sent = self._counter("replica_lazy_updates_sent")
+        self._m_lazy_updates_applied = self._counter("replica_lazy_updates_applied")
+
+    @property
+    def lazy_updates_sent(self) -> int:
+        return self._m_lazy_updates_sent.value
+
+    @property
+    def lazy_updates_applied(self) -> int:
+        return self._m_lazy_updates_applied.value
 
     # ------------------------------------------------------------------
     # Roles
@@ -104,7 +115,7 @@ class FifoReplicaHandler(ReplicaHandlerBase):
         value = super().execute(pending)
         if pending.request.kind is RequestKind.UPDATE:
             self.commit_count += 1
-            self.updates_committed += 1
+            self._m_updates_committed.inc()
         return value
 
     def committed_gsn(self) -> int:
@@ -125,7 +136,7 @@ class FifoReplicaHandler(ReplicaHandlerBase):
                 snapshot=self.app.snapshot(),
             )
             self.gmcast(self.groups.secondary, update, size_bytes=1024)
-            self.lazy_updates_sent += 1
+            self._m_lazy_updates_sent.inc()
         self.sim.schedule(self.lazy_update_interval, self._lazy_tick)
 
     def _on_lazy_update(self, update: LazyUpdate) -> None:
@@ -134,7 +145,7 @@ class FifoReplicaHandler(ReplicaHandlerBase):
         if update.csn > self.commit_count:
             self.app.restore(update.snapshot)
             self.commit_count = update.csn
-            self.lazy_updates_applied += 1
+            self._m_lazy_updates_applied.inc()
 
     def on_view_change(self, view: View, previous: Optional[View]) -> None:
         # Role designation is purely view-rank-based; nothing to hand over.

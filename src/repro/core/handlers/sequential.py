@@ -47,6 +47,8 @@ from repro.core.requests import (
 from repro.core.state import ReplicatedObject
 from repro.core.tuning import AdaptiveLazyController
 from repro.groups.membership import View
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import emit_span, span_root
 from repro.sim.rng import Distribution, RngRegistry
 from repro.sim.tracing import NULL_TRACE, Trace
 
@@ -73,6 +75,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         publish_performance: bool = True,
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             name,
@@ -85,6 +88,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             publish_performance=publish_performance,
             heartbeat_interval=heartbeat_interval,
             rto=rto,
+            metrics=metrics,
         )
         if lazy_update_interval <= 0:
             raise ValueError(
@@ -118,8 +122,12 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         self._last_tune_at = 0.0
         self._lazy_tick_event = None
         self._perf_anchor = 0.0
-        self.lazy_updates_sent = 0
-        self.lazy_updates_applied = 0
+        self._m_lazy_updates_sent = self._counter("replica_lazy_updates_sent")
+        self._m_lazy_updates_applied = self._counter("replica_lazy_updates_applied")
+        self._g_lazy_interval = self.metrics.gauge(
+            "replica_lazy_interval_seconds", replica=name
+        )
+        self._g_lazy_interval.set(lazy_update_interval)
 
         # Sequencer failover state.
         self._sequencer_active = False
@@ -127,18 +135,55 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         self._sync_id = 0
         self._sync_replies: dict[str, SequencerSyncReply] = {}
         self._sync_buffer: list[Request] = []
-        self.gsn_queries_sent = 0
-        self.reassignments = 0
+        self._m_gsn_queries_sent = self._counter("replica_gsn_queries_sent")
+        self._m_reassignments = self._counter("replica_reassignments")
 
         # Primary recovery (state transfer; DESIGN.md §9).
         self._recovering = False
         self._xfer_id = 0
         self._xfer_rotation = 0
-        self.state_transfers_started = 0
-        self.state_transfers_completed = 0
-        self.state_transfers_served = 0
+        self._m_state_transfers_started = self._counter(
+            "replica_state_transfers_started"
+        )
+        self._m_state_transfers_completed = self._counter(
+            "replica_state_transfers_completed"
+        )
+        self._m_state_transfers_served = self._counter(
+            "replica_state_transfers_served"
+        )
         self._gap_stuck_csn: Optional[int] = None
         self._gap_watch_event = None
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters under their historical names
+    # ------------------------------------------------------------------
+    @property
+    def lazy_updates_sent(self) -> int:
+        return self._m_lazy_updates_sent.value
+
+    @property
+    def lazy_updates_applied(self) -> int:
+        return self._m_lazy_updates_applied.value
+
+    @property
+    def gsn_queries_sent(self) -> int:
+        return self._m_gsn_queries_sent.value
+
+    @property
+    def reassignments(self) -> int:
+        return self._m_reassignments.value
+
+    @property
+    def state_transfers_started(self) -> int:
+        return self._m_state_transfers_started.value
+
+    @property
+    def state_transfers_completed(self) -> int:
+        return self._m_state_transfers_completed.value
+
+    @property
+    def state_transfers_served(self) -> int:
+        return self._m_state_transfers_served.value
 
     # ------------------------------------------------------------------
     # Roles
@@ -210,6 +255,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             recommended = self.lazy_controller.recommended_interval()
             if abs(recommended - self.lazy_update_interval) > 1e-9:
                 self.lazy_update_interval = recommended
+                self._g_lazy_interval.set(recommended)
                 self._schedule_lazy_tick()
         self.sim.schedule(self._tune_interval(), self._tune_tick)
 
@@ -275,6 +321,12 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         assign = GsnAssign(request.request_id, self.my_gsn, advances=True)
         self._remember_assignment(request.request_id, self.my_gsn, update=True)
         self.gmcast(self.groups.primary, assign, size_bytes=64)
+        if self.trace.enabled:
+            emit_span(
+                self.trace, self.now, self.name,
+                f"{span_root(request.request_id)}/q", "sequence",
+                gsn=self.my_gsn, advances=True,
+            )
         self.trace.emit(
             self.now, "sequencer.assign", self.name,
             request_id=request.request_id, gsn=self.my_gsn,
@@ -285,6 +337,12 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         assign = GsnAssign(request.request_id, self.my_gsn, advances=False)
         self.gmcast(self.groups.primary, assign, size_bytes=64)
         self.gmcast(self.groups.secondary, assign, size_bytes=64)
+        if self.trace.enabled:
+            emit_span(
+                self.trace, self.now, self.name,
+                f"{span_root(request.request_id)}/q", "sequence",
+                gsn=self.my_gsn, advances=False,
+            )
         self.trace.emit(
             self.now, "sequencer.stamp", self.name,
             request_id=request.request_id, gsn=self.my_gsn,
@@ -313,7 +371,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
                 self.groups.qos, sequencer, GsnQuery(request_id, self.name),
                 size_bytes=64,
             )
-            self.gsn_queries_sent += 1
+            self._m_gsn_queries_sent.inc()
         self.sim.schedule(self.gsn_wait_timeout, self._gsn_retry, request_id)
 
     def _on_gsn_query(self, query: GsnQuery) -> None:
@@ -342,7 +400,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             # Failover reassignment: rebind the buffered update.
             waiting = self._commit_wait.pop(previous, None)
             self._remember_assignment(assign.request_id, assign.gsn, update=True)
-            self.reassignments += 1
+            self._m_reassignments.inc()
             if waiting is not None:
                 waiting.gsn = assign.gsn
                 self._commit_wait[assign.gsn] = waiting
@@ -369,6 +427,14 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         elif self.is_secondary:
             pending.defer_started_at = self.now
             self._deferred.append(pending)
+            if self.trace.enabled:
+                rid = pending.request.request_id
+                emit_span(
+                    self.trace, self.now, self.name,
+                    f"{span_root(rid)}/b/{self.name}", "defer",
+                    staleness=staleness, threshold=threshold,
+                    gsn=gsn, csn=self.my_csn,
+                )
             self.trace.emit(
                 self.now, "replica.defer", self.name,
                 request_id=pending.request.request_id,
@@ -402,7 +468,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             assert pending.gsn is not None
             self.my_csn = pending.gsn
             self.my_gsn = max(self.my_gsn, self.my_csn)
-            self.updates_committed += 1
+            self._m_updates_committed.inc()
             self._recent_commits[pending.request.request_id] = pending.gsn
             while len(self._recent_commits) > _RECENT_COMMITS:
                 self._recent_commits.popitem(last=False)
@@ -449,7 +515,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
                     snapshot=self.app.snapshot(),
                 )
                 self.gmcast(self.groups.secondary, update, size_bytes=1024)
-                self.lazy_updates_sent += 1
+                self._m_lazy_updates_sent.inc()
                 self.trace.emit(
                     self.now, "lazy.publish", self.name,
                     epoch=self._lazy_epoch, csn=self.my_csn,
@@ -469,7 +535,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             self.app.restore(update.snapshot)
             self.my_csn = update.csn
             self.my_gsn = max(self.my_gsn, update.csn)
-            self.lazy_updates_applied += 1
+            self._m_lazy_updates_applied.inc()
         # §4.1.2: deferred reads are answered "immediately after receiving
         # the next state update from the lazy publisher".
         deferred, self._deferred = self._deferred, []
@@ -627,7 +693,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         """
         self._recovering = True
         self._xfer_id += 1
-        self.state_transfers_started += 1
+        self._m_state_transfers_started.inc()
         if self._gap_watch_event is not None:
             self._gap_watch_event.cancel()
             self._gap_watch_event = None
@@ -651,7 +717,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             # Nobody to ask: we lead (or the view is empty), so no peer
             # holds newer committed state.  Keep the retained state.
             self._recovering = False
-            self.state_transfers_completed += 1
+            self._m_state_transfers_completed.inc()
             self.trace.emit(
                 self.now, "replica.state-transfer-done", self.name,
                 donor=None, csn=self.my_csn, gsn=self.my_gsn,
@@ -734,7 +800,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             assignments=tuple(sorted(assignments.items(), key=lambda kv: kv[1])),
             skips=tuple(sorted(g for g in self._skips if g > self.my_csn)),
         )
-        self.state_transfers_served += 1
+        self._m_state_transfers_served.inc()
         self.gsend(self.groups.primary, relay.requester, reply, size_bytes=2048)
         self.trace.emit(
             self.now, "replica.state-transfer-serve", self.name,
@@ -745,7 +811,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         if not self._recovering or snap.xfer_id != self._xfer_id:
             return
         self._recovering = False
-        self.state_transfers_completed += 1
+        self._m_state_transfers_completed.inc()
         if snap.snapshot is not None:
             self.app.restore(snap.snapshot)
             self.my_csn = snap.csn

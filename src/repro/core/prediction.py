@@ -40,6 +40,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.repository import ClientInfoRepository, ReplicaStats
+from repro.obs.metrics import MetricsRegistry
 from repro.stats.pmf import DEFAULT_QUANTUM, DiscretePmf
 from repro.stats.sliding_window import SlidingWindow
 
@@ -73,6 +74,8 @@ class ResponseTimePredictor:
         bootstrap_cdf: float = 1.0,
         staleness_model: Optional["StalenessModel"] = None,
         use_cache: bool = True,
+        metrics: Optional["MetricsRegistry"] = None,
+        metrics_labels: Optional[dict] = None,
     ) -> None:
         if lazy_update_interval <= 0:
             raise ValueError(
@@ -90,16 +93,45 @@ class ResponseTimePredictor:
         self.default_gateway_delay = default_gateway_delay
         self.bootstrap_cdf = bootstrap_cdf
         self.staleness_model = staleness_model or PoissonStalenessModel()
-        self.evaluations = 0  # number of distribution computations (Fig. 3)
+        # Registry-backed counters, exposed under their historical names via
+        # properties.  These feed Figure 3 reports, so a missing registry
+        # means a private enabled one rather than a no-op.
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        labels = metrics_labels or {}
+        # evaluations: number of distribution computations (Fig. 3).
+        self._m_evaluations = metrics.counter("predictor_evaluations", **labels)
         # Versioned pmf cache (same counter pattern as ``evaluations``):
         # a hit returns a previously convolved pmf, a miss rebuilds it, an
         # invalidation is a miss that found a stale entry to replace.
         self.use_cache = use_cache
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_invalidations = 0
+        self._m_cache_hits = metrics.counter("predictor_cache_hits", **labels)
+        self._m_cache_misses = metrics.counter("predictor_cache_misses", **labels)
+        self._m_cache_invalidations = metrics.counter(
+            "predictor_cache_invalidations", **labels
+        )
         self._pmf_cache: dict[str, _ReplicaPmfCache] = {}
         self._uniform_lazy_cache: dict[tuple[float, float], DiscretePmf] = {}
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters under their historical names
+    # ------------------------------------------------------------------
+    @property
+    def evaluations(self) -> int:
+        return self._m_evaluations.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._m_cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._m_cache_misses.value
+
+    @property
+    def cache_invalidations(self) -> int:
+        return self._m_cache_invalidations.value
 
     # ------------------------------------------------------------------
     # Response-time distributions (§5.2)
@@ -113,7 +145,7 @@ class ResponseTimePredictor:
         stats = self.repository.stats_for(replica)
         if not stats.has_history:
             return (self.bootstrap_cdf, self.bootstrap_cdf)
-        self.evaluations += 1
+        self._m_evaluations.inc()
         base = self._immediate_pmf(replica, stats)
         immediate = base.cdf(deadline)
         delayed = self._deferred_pmf(replica, stats, base).cdf(deadline)
@@ -124,7 +156,7 @@ class ResponseTimePredictor:
         stats = self.repository.stats_for(replica)
         if not stats.has_history:
             return self.bootstrap_cdf
-        self.evaluations += 1
+        self._m_evaluations.inc()
         return self._immediate_pmf(replica, stats).cdf(deadline)
 
     # ------------------------------------------------------------------
@@ -153,10 +185,10 @@ class ResponseTimePredictor:
             entry = self._pmf_cache.get(replica)
             if entry is not None:
                 if entry.base_key == key:
-                    self.cache_hits += 1
+                    self._m_cache_hits.inc()
                     return entry.base_pmf
-                self.cache_invalidations += 1
-            self.cache_misses += 1
+                self._m_cache_invalidations.inc()
+            self._m_cache_misses.inc()
         base = self._compute_immediate_pmf(stats)
         if self.use_cache:
             # Replacing the whole entry also drops the stale deferred pmf.
@@ -174,10 +206,10 @@ class ResponseTimePredictor:
         if entry is not None:
             if entry.full_pmf is not None:
                 if entry.lazy_key == lazy_key:
-                    self.cache_hits += 1
+                    self._m_cache_hits.inc()
                     return entry.full_pmf
-                self.cache_invalidations += 1
-            self.cache_misses += 1
+                self._m_cache_invalidations.inc()
+            self._m_cache_misses.inc()
         full = base.convolve(self._lazy_wait_pmf(stats))
         if entry is not None:
             entry.lazy_key = lazy_key

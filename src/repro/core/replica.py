@@ -25,6 +25,8 @@ from repro.core.requests import PerfBroadcast, Reply, Request, RequestKind, Stal
 from repro.core.state import ReplicatedObject
 from repro.groups.group import GroupEndpoint
 from repro.groups.membership import View
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.spans import emit_span, span_root
 from repro.sim.rng import Distribution, RngRegistry
 from repro.sim.tracing import NULL_TRACE, Trace
 
@@ -79,6 +81,7 @@ class ReplicaHandlerBase(GroupEndpoint):
         publish_performance: bool = True,
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
         self.groups = groups
@@ -88,13 +91,39 @@ class ReplicaHandlerBase(GroupEndpoint):
         self.update_service_time = update_service_time or read_service_time
         self.trace = trace
         self.publish_performance = publish_performance
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._ready: deque[PendingRequest] = deque()
         self._busy = False
         self._incarnation = 0
-        self.reads_served = 0
-        self.updates_committed = 0
-        self.deferred_reads_served = 0
+        self._m_reads_served = self._counter("replica_reads_served")
+        self._m_updates_committed = self._counter("replica_updates_committed")
+        self._m_deferred_reads_served = self._counter(
+            "replica_deferred_reads_served"
+        )
+        self._h_service_time = self.metrics.histogram(
+            "replica_service_time_seconds", replica=name
+        )
         self.busy_time = 0.0  # accumulated service time (utilization)
+
+    def _counter(self, name: str) -> Counter:
+        """A registry counter labelled with this replica's name (handlers
+        use this for their protocol-specific counters)."""
+        return self.metrics.counter(name, replica=self.name)
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters under their historical names
+    # ------------------------------------------------------------------
+    @property
+    def reads_served(self) -> int:
+        return self._m_reads_served.value
+
+    @property
+    def updates_committed(self) -> int:
+        return self._m_updates_committed.value
+
+    @property
+    def deferred_reads_served(self) -> int:
+        return self._m_deferred_reads_served.value
 
     # ------------------------------------------------------------------
     # Identity and roles (derived from views)
@@ -202,12 +231,24 @@ class ReplicaHandlerBase(GroupEndpoint):
         )
         # Replies travel over the reliable QoS-group channel to the client.
         self.gsend(self.groups.qos, pending.request.client, reply)
+        self._h_service_time.observe(ts)
         if pending.request.kind is RequestKind.READ:
-            self.reads_served += 1
+            self._m_reads_served.inc()
             if pending.deferred:
-                self.deferred_reads_served += 1
+                self._m_deferred_reads_served.inc()
             if self.publish_performance:
                 self._publish_performance(ts, tq, pending)
+        if self.trace.enabled:
+            # Serve span: stitched under the dispatch edge that carried the
+            # request here by obs.spans.build_span_trees (parent=None).
+            rid = pending.request.request_id
+            emit_span(
+                self.trace, self.now, self.name,
+                f"{span_root(rid)}/s/{self.name}", "serve",
+                ts=ts, tq=tq, tb=pending.tb, gsn=reply.gsn,
+                staleness=self.staleness(), deferred=pending.deferred,
+                kind=pending.request.kind.value,
+            )
         self.trace.emit(
             self.now,
             "replica.complete",
@@ -246,6 +287,11 @@ class ReplicaHandlerBase(GroupEndpoint):
 
     def committed_gsn(self) -> int:
         """The version stamp to attach to replies.  Protocols override."""
+        return 0
+
+    def staleness(self) -> int:
+        """Missed-update count annotated on serve spans.  Protocols
+        override (the sequential handler reports ``my_gsn - my_csn``)."""
         return 0
 
     def staleness_info(self) -> Optional[StalenessInfo]:

@@ -129,6 +129,29 @@ def sort_candidates(candidates: Sequence[ReplicaView]) -> list[ReplicaView]:
     )
 
 
+def set_success_probability(
+    candidates: Sequence[ReplicaView],
+    selected: Sequence[str],
+    stale_factor: float,
+    correlated_deferral: bool = False,
+) -> float:
+    """P(at least one member of ``selected`` meets the deadline), Eq. 1-3.
+
+    Unlike :attr:`SelectionResult.predicted_probability` — which excludes
+    the best-CDF member to model a single failure, making Algorithm 1's
+    stopping rule deliberately conservative — this folds in *every* selected
+    replica.  It is the forecast that should match observed outcomes when
+    predictions are honest, so the calibration tracker scores this value,
+    not the fault-tolerant one.
+    """
+    chosen = set(selected)
+    acc = _PkAccumulator(stale_factor, correlated_deferral)
+    for view in candidates:
+        if view.name in chosen:
+            acc.include(view)
+    return acc.probability()
+
+
 class StateBasedSelection(SelectionStrategy):
     """Algorithm 1: state-based replica selection.
 

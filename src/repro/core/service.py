@@ -30,6 +30,8 @@ from repro.core.state import CounterObject, ReplicatedObject
 from repro.core.tuning import StalenessTarget
 from repro.groups.membership import MembershipConfig, MembershipService
 from repro.net.latency import LanLatency, LatencyModel
+from repro.obs.calibration import CalibrationTracker
+from repro.obs.metrics import MetricsRegistry
 from repro.net.network import Network
 from repro.net.node import Host
 from repro.sim.kernel import Simulator
@@ -95,6 +97,8 @@ class ReplicatedService:
         config: Optional[ServiceConfig] = None,
         app_factory: Callable[[], ReplicatedObject] = CounterObject,
         trace: Trace = NULL_TRACE,
+        metrics: Optional[MetricsRegistry] = None,
+        calibration: Optional[CalibrationTracker] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -103,6 +107,10 @@ class ReplicatedService:
         self.config = config or ServiceConfig()
         self.app_factory = app_factory
         self.trace = trace
+        # One registry shared by every replica and client of the service;
+        # snapshots therefore describe the whole deployment.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.calibration = calibration
         self.groups = ServiceGroups(self.config.name)
         self.clients: dict[str, ClientHandler] = {}
 
@@ -138,6 +146,7 @@ class ReplicatedService:
             publish_performance=cfg.publish_performance,
             heartbeat_interval=cfg.heartbeat_interval,
             rto=cfg.rto,
+            metrics=self.metrics,
         )
         handler_cls = replica_handler_for(cfg.ordering)
         if handler_cls is SequentialReplicaHandler:
@@ -338,6 +347,8 @@ class ReplicatedService:
             trace=self.trace,
             heartbeat_interval=cfg.heartbeat_interval,
             rto=cfg.rto,
+            metrics=self.metrics,
+            calibration=self.calibration,
         )
         self.network.attach(handler, host or self._make_host(f"host-{name}"))
         self.membership.register(self.groups.qos, name)
@@ -359,6 +370,8 @@ class Testbed:
     membership: MembershipService
     service: ReplicatedService
     trace: Trace
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    calibration: Optional[CalibrationTracker] = None
 
 
 def build_testbed(
@@ -368,13 +381,16 @@ def build_testbed(
     app_factory: Callable[[], ReplicatedObject] = CounterObject,
     trace: Optional[Trace] = None,
     membership_config: Optional[MembershipConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    calibration: Optional[CalibrationTracker] = None,
 ) -> Testbed:
     """Build simulator + network + membership + one replicated service."""
     config = config or ServiceConfig()
     trace = trace if trace is not None else NULL_TRACE
+    metrics = metrics if metrics is not None else MetricsRegistry()
     sim = Simulator()
     rng = RngRegistry(seed)
-    network = Network(sim, rng, latency or LanLatency(), trace=trace)
+    network = Network(sim, rng, latency or LanLatency(), trace=trace, metrics=metrics)
     membership = MembershipService(
         config=membership_config
         or MembershipConfig(
@@ -386,6 +402,10 @@ def build_testbed(
     )
     network.attach(membership)
     service = ReplicatedService(
-        sim, network, membership, rng, config, app_factory, trace
+        sim, network, membership, rng, config, app_factory, trace,
+        metrics=metrics, calibration=calibration,
     )
-    return Testbed(sim, rng, network, membership, service, trace)
+    return Testbed(
+        sim, rng, network, membership, service, trace,
+        metrics=metrics, calibration=calibration,
+    )

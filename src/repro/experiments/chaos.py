@@ -34,9 +34,10 @@ from repro.core.client import RetryPolicy
 from repro.core.qos import QoSSpec
 from repro.core.requests import ReadOutcome, UpdateOutcome
 from repro.core.service import ServiceConfig, build_testbed
-from repro.experiments.report import format_recovery_stats, format_table, save_results
+from repro.experiments.report import format_table, render_report, save_results
 from repro.groups.membership import MembershipConfig
 from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.process import Process, Timeout
 from repro.sim.rng import Normal, seed_for
 from repro.sim.tracing import Trace
@@ -61,6 +62,7 @@ class CampaignResult:
     updates_acked: int
     recovery: dict[str, int] = field(default_factory=dict)
     events: list[str] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)  # MetricsRegistry snapshot
 
     @property
     def clean(self) -> bool:
@@ -85,6 +87,7 @@ def run_campaign(
     checkers audit the end state and the trace.
     """
     trace = trace if trace is not None else Trace(enabled=True)
+    metrics = MetricsRegistry()
     config = ServiceConfig(
         name="svc",
         num_primaries=3,
@@ -99,6 +102,7 @@ def run_campaign(
         config,
         seed=seed,
         trace=trace,
+        metrics=metrics,
         membership_config=MembershipConfig(
             heartbeat_interval=0.1, suspect_timeout=0.35, sweep_interval=0.1
         ),
@@ -145,6 +149,7 @@ def run_campaign(
         rng=testbed.rng.stream("chaos.engine"),
         repair=repair,
         trace=trace,
+        metrics=metrics,
     )
 
     def repair_sweep() -> None:
@@ -199,6 +204,7 @@ def run_campaign(
         events=[
             f"t={e.time:.3f} {e.kind} {e.target}" for e in engine.events
         ],
+        metrics=metrics.snapshot(),
     )
 
 
@@ -353,6 +359,8 @@ def run_chaos_suite(
                         f"{record.time:.6f} {record.category} "
                         f"{record.actor} {record.detail}\n"
                     )
+            # Machine-readable twin of the dump, one JSON object per record.
+            (trace_dir / f"chaos-seed{seed}.jsonl").write_text(trace.to_jsonl())
     return results
 
 
@@ -380,7 +388,12 @@ def summarize(results: list[CampaignResult]) -> str:
     for r in results:
         for key, value in r.recovery.items():
             totals[key] = totals.get(key, 0) + value
-    return table + "\n\n" + format_recovery_stats(totals)
+    merged = MetricsRegistry.merge(*(r.metrics for r in results if r.metrics))
+    return (
+        table
+        + "\n\n"
+        + render_report(metrics=merged, recovery=totals, title="campaign telemetry")
+    )
 
 
 def main(argv: Optional[list[str]] = None) -> int:

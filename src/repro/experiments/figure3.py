@@ -247,6 +247,37 @@ def main(argv: Optional[list[str]] = None) -> None:
             meta={"experiment": "figure3"},
         )
         print(f"\nsaved to {path}")
+    if "--metrics-out" in argv:
+        path = argv[argv.index("--metrics-out") + 1]
+        write_metrics_artifact(path, result)
+        print(f"\ntelemetry written to {path}")
+
+
+def write_metrics_artifact(path: str, result: Figure3Result) -> None:
+    """JSONL telemetry: per-point cost and cache counters, plus totals."""
+    from repro.obs.export import write_jsonl
+
+    records = [{"event": "meta", "experiment": "figure3"}]
+    totals = {"cache_hits": 0, "cache_misses": 0, "cache_invalidations": 0}
+    for (window, n), point in sorted(result.points.items()):
+        records.append(
+            {
+                "event": "point",
+                "window": window,
+                "replicas": n,
+                "total_us": point.total_us,
+                "distribution_us": point.distribution_us,
+                "selection_us": point.selection_us,
+                "cache_hits": point.cache_hits,
+                "cache_misses": point.cache_misses,
+                "cache_invalidations": point.cache_invalidations,
+            }
+        )
+        totals["cache_hits"] += point.cache_hits
+        totals["cache_misses"] += point.cache_misses
+        totals["cache_invalidations"] += point.cache_invalidations
+    records.append({"event": "totals", **totals})
+    write_jsonl(path, records)
 
 
 if __name__ == "__main__":

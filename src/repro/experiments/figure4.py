@@ -83,6 +83,7 @@ def run_figure4(
     strategy2: Optional[SelectionStrategy] = None,
     jobs: Optional[int] = 1,
     progress: bool = False,
+    collect_metrics: bool = False,
 ) -> Figure4Result:
     """Run the full sweep, optionally fanned out over ``jobs`` processes.
 
@@ -102,6 +103,7 @@ def run_figure4(
                 seed=seed,
                 staleness_threshold=staleness_threshold,
                 strategy2=strategy2,
+                collect_metrics=collect_metrics,
             ),
         )
         for probability in probabilities
@@ -113,6 +115,56 @@ def run_figure4(
     for spec, cell in zip(specs, cells):
         result.cells[spec.key] = cell
     return result
+
+
+def merged_telemetry(result: Figure4Result) -> tuple[dict, Optional[dict]]:
+    """Fold every cell's telemetry into one (metrics, calibration) pair.
+
+    Both merges are commutative, so the totals are identical whatever
+    order (or worker process) produced the cells.
+    """
+    from repro.obs.calibration import CalibrationTracker
+    from repro.obs.metrics import MetricsRegistry
+
+    snapshots = [c.metrics for c in result.cells.values() if c.metrics is not None]
+    payloads = [c.calibration for c in result.cells.values()]
+    metrics = MetricsRegistry.merge(*snapshots) if snapshots else {}
+    if any(p is not None for p in payloads):
+        calibration = CalibrationTracker.merge(payloads).to_dict()
+    else:
+        calibration = None
+    return metrics, calibration
+
+
+def write_metrics_artifact(
+    path: str, result: Figure4Result, meta: Optional[dict] = None
+) -> None:
+    """JSONL telemetry artifact: one meta line, one line per cell, one
+    merged-totals line (the ``repro metrics``/CI consumers parse this)."""
+    from repro.obs.export import metrics_event, write_jsonl
+
+    records = [
+        {"event": "meta", "experiment": "figure4", **(meta or {})}
+    ]
+    for key in sorted(result.cells):
+        cell = result.cells[key]
+        if cell.metrics is None:
+            continue
+        records.append(
+            metrics_event(
+                cell.metrics,
+                kind="cell",
+                min_probability=key[0],
+                lazy_update_interval=key[1],
+                deadline_ms=key[2],
+                calibration=cell.calibration,
+            )
+        )
+    merged, calibration = merged_telemetry(result)
+    records.append(
+        metrics_event(merged, kind="merged", calibration=calibration)
+    )
+    write_jsonl(path, records)
 
 
 def render(result: Figure4Result) -> str:
@@ -172,13 +224,20 @@ def main(argv: Optional[list[str]] = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     quick = "--quick" in argv
     jobs = add_jobs_argument(argv)
+    metrics_out = None
+    if "--metrics-out" in argv:
+        metrics_out = argv[argv.index("--metrics-out") + 1]
     result = run_figure4(
         deadlines_ms=(100, 160, 220) if quick else DEADLINES_MS,
         total_requests=200 if quick else 1000,
         jobs=jobs,
         progress=jobs != 1,
+        collect_metrics=metrics_out is not None,
     )
     print(render(result))
+    if metrics_out is not None:
+        write_metrics_artifact(metrics_out, result, meta={"quick": quick})
+        print(f"\ntelemetry written to {metrics_out}")
     if "--save" in argv:
         from repro.experiments.report import save_results
 

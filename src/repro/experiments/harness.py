@@ -25,6 +25,8 @@ from repro.core.qos import QoSSpec
 from repro.core.repository import ClientInfoRepository
 from repro.core.requests import PerfBroadcast, StalenessInfo
 from repro.core.selection import ReplicaView, SelectionStrategy, StateBasedSelection
+from repro.obs.calibration import CalibrationTracker
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.rng import RngRegistry
 from repro.stats.confidence import binomial_confidence_interval
 from repro.workloads.scenarios import build_paper_scenario
@@ -199,6 +201,11 @@ class Figure4Cell:
     timing_failures: int
     deferred_fraction: float
     mean_response_time: float
+    # Telemetry payloads, populated only with ``collect_metrics=True``:
+    # a MetricsRegistry snapshot and a CalibrationTracker.to_dict().  Kept
+    # as plain dicts so cells stay picklable for the parallel runner.
+    metrics: Optional[dict] = None
+    calibration: Optional[dict] = None
 
     def meets_qos(self) -> bool:
         """Did the observed failure probability stay within 1 − P_c?"""
@@ -215,8 +222,18 @@ def run_figure4_cell(
     strategy2: Optional[SelectionStrategy] = None,
     warmup_requests: int = 0,
     request_delay: float = 1.0,
+    collect_metrics: bool = False,
 ) -> Figure4Cell:
-    """Run the §6 testbed once and summarize client 2's reads."""
+    """Run the §6 testbed once and summarize client 2's reads.
+
+    With ``collect_metrics=True`` the testbed shares one
+    :class:`MetricsRegistry` and one :class:`CalibrationTracker`, and the
+    returned cell carries their serialized payloads (mergeable across
+    cells with :meth:`MetricsRegistry.merge` / :meth:`CalibrationTracker
+    .merge`).
+    """
+    registry = MetricsRegistry() if collect_metrics else None
+    tracker = CalibrationTracker() if collect_metrics else None
     scenario = build_paper_scenario(
         deadline=deadline,
         min_probability=min_probability,
@@ -227,6 +244,8 @@ def run_figure4_cell(
         seed=seed,
         strategy2=strategy2,
         warmup_requests=warmup_requests,
+        metrics=registry,
+        calibration=tracker,
     )
     scenario.run()
     client2 = scenario.client2
@@ -248,4 +267,6 @@ def run_figure4_cell(
         timing_failures=failures,
         deferred_fraction=client2.deferred_fraction(),
         mean_response_time=client2.mean_response_time(),
+        metrics=registry.snapshot() if registry is not None else None,
+        calibration=tracker.to_dict() if tracker is not None else None,
     )

@@ -63,6 +63,95 @@ def format_recovery_stats(stats: dict, title: str = "fault recovery") -> str:
     return format_table(["counter", "count", "meaning"], rows, title=title)
 
 
+def render_report(
+    metrics: dict | None = None,
+    recovery: dict | None = None,
+    calibration: Any = None,
+    title: str = "telemetry report",
+) -> str:
+    """One combined plain-text report: metrics, recovery, calibration.
+
+    ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict;
+    counters and gauges go in one table, histograms get a count/mean/
+    quantile summary table.  ``recovery`` feeds
+    :func:`format_recovery_stats`.  ``calibration`` is either a
+    :class:`repro.obs.CalibrationTracker` or its ``to_dict()`` payload;
+    each strategy gets a reliability table (per-bucket predicted vs.
+    observed with Wilson CIs) plus its Brier score.
+    """
+    from repro.obs.calibration import CalibrationTracker
+    from repro.obs.export import summarize_histogram
+
+    blocks = [title, "=" * len(title)] if title else []
+    if metrics:
+        scalar_rows = []
+        histogram_rows = []
+        for series in sorted(metrics):
+            entry = metrics[series]
+            if entry["type"] == "histogram":
+                summary = summarize_histogram(entry)
+                histogram_rows.append(
+                    [
+                        series,
+                        summary["count"],
+                        summary["mean"],
+                        summary["p50"],
+                        summary["p95"],
+                        summary["p99"],
+                    ]
+                )
+            else:
+                scalar_rows.append([series, entry["type"], entry["value"]])
+        if scalar_rows:
+            blocks.append(
+                format_table(
+                    ["series", "type", "value"], scalar_rows, title="metrics"
+                )
+            )
+        if histogram_rows:
+            blocks.append(
+                format_table(
+                    ["series", "count", "mean", "p50", "p95", "p99"],
+                    histogram_rows,
+                    title="histograms",
+                )
+            )
+    if recovery:
+        blocks.append(format_recovery_stats(recovery))
+    if calibration is not None:
+        tracker = (
+            calibration
+            if isinstance(calibration, CalibrationTracker)
+            else CalibrationTracker.from_dict(calibration)
+        )
+        for strategy in tracker.strategies():
+            rows = [
+                [
+                    f"[{bucket.low:.2f}, {bucket.high:.2f})",
+                    bucket.count,
+                    bucket.mean_predicted,
+                    bucket.observed,
+                    f"[{bucket.ci_low:.3f}, {bucket.ci_high:.3f}]",
+                    "yes" if bucket.consistent else "NO",
+                ]
+                for bucket in tracker.reliability(strategy)
+            ]
+            heading = (
+                f"calibration — {strategy} "
+                f"(n={tracker.observations(strategy)}, "
+                f"Brier={tracker.brier_score(strategy):.4f})"
+            )
+            blocks.append(
+                format_table(
+                    ["predicted bucket", "n", "mean P_c(d)", "observed",
+                     "95% CI", "within CI"],
+                    rows,
+                    title=heading,
+                )
+            )
+    return "\n\n".join(blocks)
+
+
 def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
     """One figure series as ``name: (x, y) ...`` for eyeballing shapes."""
     pairs = " ".join(f"({x:g}, {y:.4g})" for x, y in zip(xs, ys))

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.net.network import Network
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.tracing import NULL_TRACE, Trace
 
 
@@ -124,6 +125,7 @@ class ChaosEngine:
         rng: Optional[random.Random] = None,
         repair: Optional[Callable[[str], None]] = None,
         trace: Trace = NULL_TRACE,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.network = network
         self.sim = network.sim
@@ -139,8 +141,20 @@ class ChaosEngine:
         self._base_drop = network.drop_probability
         self._started_at: Optional[float] = None
         self._stopped = False
-        self.faults_injected = 0
-        self.faults_skipped = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_faults_injected = self.metrics.counter("chaos_faults_injected")
+        self._m_faults_skipped = self.metrics.counter("chaos_faults_skipped")
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters under their historical names
+    # ------------------------------------------------------------------
+    @property
+    def faults_injected(self) -> int:
+        return self._m_faults_injected.value
+
+    @property
+    def faults_skipped(self) -> int:
+        return self._m_faults_skipped.value
 
     # ------------------------------------------------------------------
     # Campaign lifecycle
@@ -167,9 +181,9 @@ class ChaosEngine:
         if self.sim.now - self._started_at >= self.config.duration:
             return
         if self._inject():
-            self.faults_injected += 1
+            self._m_faults_injected.inc()
         else:
-            self.faults_skipped += 1
+            self._m_faults_skipped.inc()
         self.sim.schedule(self._next_gap(), self._tick)
 
     def _finish(self) -> None:

@@ -21,6 +21,7 @@ from typing import Any, Iterable, Optional
 from repro.net.latency import LatencyModel
 from repro.net.message import Message
 from repro.net.node import Host
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import NULL_TRACE, Trace
@@ -91,6 +92,7 @@ class Network:
         default_latency: LatencyModel,
         trace: Trace = NULL_TRACE,
         drop_probability: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError(f"drop probability {drop_probability!r} outside [0, 1)")
@@ -99,14 +101,33 @@ class Network:
         self.default_latency = default_latency
         self.trace = trace
         self.drop_probability = drop_probability
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._endpoints: dict[str, Endpoint] = {}
         self._hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], LatencyModel] = {}
         self._crashed: set[str] = set()
         self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
-        self.messages_sent = 0
-        self.messages_delivered = 0
-        self.messages_dropped = 0
+        self._m_sent = self.metrics.counter("net_messages_sent")
+        self._m_delivered = self.metrics.counter("net_messages_delivered")
+        self._m_dropped = self.metrics.counter("net_messages_dropped")
+        self._h_delivery_delay = self.metrics.histogram(
+            "net_delivery_delay_seconds"
+        )
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters under their historical names
+    # ------------------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        return self._m_sent.value
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._m_delivered.value
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._m_dropped.value
 
     # ------------------------------------------------------------------
     # Topology
@@ -218,7 +239,7 @@ class Network:
         if sender not in self._endpoints:
             raise NetworkError(f"unknown sender {sender!r}")
         message = Message(sender, recipient, payload, self.sim.now, size_bytes)
-        self.messages_sent += 1
+        self._m_sent.inc()
         if sender in self._crashed:
             self._drop(message, "sender-crashed")
             return message
@@ -259,7 +280,8 @@ class Network:
         if self._cut(message.sender, message.recipient):
             self._drop(message, "partitioned-in-flight")
             return
-        self.messages_delivered += 1
+        self._m_delivered.inc()
+        self._h_delivery_delay.observe(self.sim.now - message.sent_at)
         self.trace.emit(
             self.sim.now,
             "net.deliver",
@@ -271,7 +293,8 @@ class Network:
         recipient.deliver(message)
 
     def _drop(self, message: Message, reason: str) -> None:
-        self.messages_dropped += 1
+        self._m_dropped.inc()
+        self.metrics.counter("net_drops", reason=reason).inc()
         self.trace.emit(
             self.sim.now,
             "net.drop",

@@ -1,0 +1,62 @@
+"""Unified telemetry layer: metrics, request spans, prediction calibration.
+
+``repro.obs`` is the one place the rest of the codebase reports what it is
+doing:
+
+* :mod:`repro.obs.metrics` — counters / gauges / log-scale histograms with
+  labels, a cheap no-op mode, and snapshot/diff/merge for multi-process
+  experiment runs;
+* :mod:`repro.obs.spans` — request-span tracing on top of
+  :mod:`repro.sim.tracing`, reconstructing each read/update's life
+  (selection, sequencing, deferral, retries, hedges) as one tree;
+* :mod:`repro.obs.calibration` — reliability diagrams and Brier scores for
+  predicted ``P_c(d)`` vs. observed deadline outcomes, per strategy;
+* :mod:`repro.obs.export` — JSONL event streams and Prometheus-style text.
+
+See DESIGN.md §10 for the architecture.
+"""
+
+from repro.obs.calibration import CalibrationBucket, CalibrationTracker
+from repro.obs.export import (
+    metrics_event,
+    prometheus_text,
+    summarize_histogram,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.obs.spans import (
+    SPAN_CATEGORY,
+    Span,
+    build_span_trees,
+    emit_span,
+    request_id_of,
+    span_root,
+)
+
+__all__ = [
+    "CalibrationBucket",
+    "CalibrationTracker",
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "SPAN_CATEGORY",
+    "Span",
+    "build_span_trees",
+    "emit_span",
+    "metrics_event",
+    "prometheus_text",
+    "request_id_of",
+    "span_root",
+    "summarize_histogram",
+    "write_jsonl",
+]

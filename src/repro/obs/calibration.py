@@ -1,0 +1,201 @@
+"""Prediction-calibration tracking: predicted ``P_c(d)`` vs. observed outcomes.
+
+Algorithm 1 selects replicas so that the *predicted* probability of meeting
+the deadline exceeds the client's ``P_c``.  Whether those predictions are
+honest is an empirical question (PBS and OptCon both make the measured
+probability surface the headline artifact), so the tracker pairs every
+judged read with the probability the model assigned to the selected replica
+set, and reports:
+
+* a **reliability diagram** — uniform probability buckets with the mean
+  predicted value, the observed timely frequency, and a Wilson confidence
+  interval on the observation, per replica-selection strategy;
+* the **Brier score** (mean squared error of the probabilistic forecast);
+  0 is a perfect forecaster, 0.25 is what "always predict 0.5" scores.
+
+A bucket is *consistent* when the mean prediction falls inside the Wilson
+interval of the observed frequency.  Trackers serialize to plain dicts
+(:meth:`to_dict`) so the parallel runner can merge per-worker results
+exactly like metric snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.stats.confidence import wilson_interval
+
+__all__ = ["CalibrationBucket", "CalibrationTracker"]
+
+DEFAULT_BUCKETS = 10
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """One reliability-diagram row for one strategy."""
+
+    low: float
+    high: float
+    count: int
+    timely: int
+    mean_predicted: float
+    observed: float
+    ci_low: float
+    ci_high: float
+    consistent: bool
+
+
+class CalibrationTracker:
+    """Accumulates (predicted, outcome) pairs per selection strategy."""
+
+    def __init__(self, buckets: int = DEFAULT_BUCKETS) -> None:
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets!r}")
+        self.buckets = buckets
+        # strategy -> {"count": [..], "timely": [..], "predicted_sum": [..],
+        #              "brier_sum": float, "observations": int}
+        self._data: Dict[str, dict] = {}
+
+    def _strategy(self, name: str) -> dict:
+        entry = self._data.get(name)
+        if entry is None:
+            entry = self._data[name] = {
+                "count": [0] * self.buckets,
+                "timely": [0] * self.buckets,
+                "predicted_sum": [0.0] * self.buckets,
+                "brier_sum": 0.0,
+                "observations": 0,
+            }
+        return entry
+
+    def observe(self, strategy: str, predicted: float, timely: bool) -> None:
+        """Record one judged read.
+
+        ``predicted`` is the model's probability that the selected replica
+        set meets the deadline; ``timely`` is what actually happened.
+        """
+        predicted = min(1.0, max(0.0, predicted))
+        index = min(int(predicted * self.buckets), self.buckets - 1)
+        entry = self._strategy(strategy)
+        entry["count"][index] += 1
+        entry["predicted_sum"][index] += predicted
+        if timely:
+            entry["timely"][index] += 1
+        outcome = 1.0 if timely else 0.0
+        entry["brier_sum"] += (predicted - outcome) ** 2
+        entry["observations"] += 1
+
+    # -- reporting ------------------------------------------------------------
+
+    def strategies(self) -> List[str]:
+        return sorted(self._data)
+
+    def observations(self, strategy: str) -> int:
+        entry = self._data.get(strategy)
+        return entry["observations"] if entry else 0
+
+    def brier_score(self, strategy: str) -> float:
+        entry = self._data.get(strategy)
+        if not entry or not entry["observations"]:
+            return 0.0
+        return entry["brier_sum"] / entry["observations"]
+
+    def reliability(
+        self, strategy: str, level: float = 0.95
+    ) -> List[CalibrationBucket]:
+        """Populated reliability-diagram rows for one strategy."""
+        entry = self._data.get(strategy)
+        if entry is None:
+            return []
+        rows: List[CalibrationBucket] = []
+        width = 1.0 / self.buckets
+        for i in range(self.buckets):
+            count = entry["count"][i]
+            if not count:
+                continue
+            timely = entry["timely"][i]
+            mean_predicted = entry["predicted_sum"][i] / count
+            observed = timely / count
+            ci_low, ci_high = wilson_interval(timely, count, level)
+            rows.append(
+                CalibrationBucket(
+                    low=i * width,
+                    high=(i + 1) * width,
+                    count=count,
+                    timely=timely,
+                    mean_predicted=mean_predicted,
+                    observed=observed,
+                    ci_low=ci_low,
+                    ci_high=ci_high,
+                    consistent=ci_low <= mean_predicted <= ci_high,
+                )
+            )
+        return rows
+
+    def well_calibrated(
+        self, strategy: str, min_count: int = 10, level: float = 0.95
+    ) -> bool:
+        """True when every bucket with >= ``min_count`` samples is consistent.
+
+        Sparse buckets are excluded: a 3-sample Wilson interval spans most of
+        [0, 1] and would pass vacuously anyway, but the acceptance check
+        should rest on buckets with real mass.
+        """
+        rows = [r for r in self.reliability(strategy, level) if r.count >= min_count]
+        return bool(rows) and all(r.consistent for r in rows)
+
+    # -- serialization / merge ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": self.buckets,
+            "strategies": {
+                name: {
+                    "count": list(entry["count"]),
+                    "timely": list(entry["timely"]),
+                    "predicted_sum": list(entry["predicted_sum"]),
+                    "brier_sum": entry["brier_sum"],
+                    "observations": entry["observations"],
+                }
+                for name, entry in self._data.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CalibrationTracker":
+        tracker = cls(buckets=payload["buckets"])
+        for name, entry in payload["strategies"].items():
+            tracker._data[name] = {
+                "count": list(entry["count"]),
+                "timely": list(entry["timely"]),
+                "predicted_sum": list(entry["predicted_sum"]),
+                "brier_sum": entry["brier_sum"],
+                "observations": entry["observations"],
+            }
+        return tracker
+
+    @classmethod
+    def merge(cls, payloads: Iterable[Optional[dict]]) -> "CalibrationTracker":
+        """Fold serialized trackers; ``None`` entries are skipped."""
+        merged: Optional[CalibrationTracker] = None
+        for payload in payloads:
+            if payload is None:
+                continue
+            if merged is None:
+                merged = cls.from_dict(payload)
+                continue
+            if payload["buckets"] != merged.buckets:
+                raise ValueError(
+                    "cannot merge calibration trackers with different "
+                    f"bucket counts: {payload['buckets']} vs {merged.buckets}"
+                )
+            for name, entry in payload["strategies"].items():
+                target = merged._strategy(name)
+                for i in range(merged.buckets):
+                    target["count"][i] += entry["count"][i]
+                    target["timely"][i] += entry["timely"][i]
+                    target["predicted_sum"][i] += entry["predicted_sum"][i]
+                target["brier_sum"] += entry["brier_sum"]
+                target["observations"] += entry["observations"]
+        return merged if merged is not None else cls()

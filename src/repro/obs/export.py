@@ -1,0 +1,122 @@
+"""Exporters for metric snapshots: JSONL event streams and Prometheus text.
+
+Both formats work on the plain-dict snapshots produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`, so they can run in the
+parent process on merged worker data without ever seeing a live registry.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+__all__ = [
+    "prometheus_text",
+    "metrics_event",
+    "write_jsonl",
+    "summarize_histogram",
+]
+
+_SERIES_RE = re.compile(r"^(?P<name>[^{]+)(\{(?P<labels>.*)\})?$")
+
+
+def _split_series(series: str) -> tuple[str, str]:
+    """Split ``name{k="v"}`` into (name, label part incl. braces or '')."""
+    match = _SERIES_RE.match(series)
+    if match is None:  # defensive; registry only emits well-formed series
+        return series, ""
+    labels = match.group("labels")
+    return match.group("name"), (f"{{{labels}}}" if labels else "")
+
+
+def _merge_labels(label_part: str, extra: str) -> str:
+    """Splice ``extra`` (e.g. 'le="0.1"') into an existing label part."""
+    if not label_part:
+        return f"{{{extra}}}"
+    return label_part[:-1] + "," + extra + "}"
+
+
+def prometheus_text(snapshot: Dict[str, dict]) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Histograms expand to cumulative ``_bucket`` samples plus ``_sum`` and
+    ``_count``, matching what a scrape endpoint would serve.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for series in sorted(snapshot):
+        entry = snapshot[series]
+        name, label_part = _split_series(series)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {entry['type']}")
+        if entry["type"] == "histogram":
+            cumulative = 0
+            for boundary, count in zip(entry["boundaries"], entry["counts"]):
+                cumulative += count
+                le = _merge_labels(label_part, f'le="{boundary:g}"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            le = _merge_labels(label_part, 'le="+Inf"')
+            lines.append(f"{name}_bucket{le} {entry['count']}")
+            lines.append(f"{name}_sum{label_part} {entry['sum']:g}")
+            lines.append(f"{name}_count{label_part} {entry['count']}")
+        else:
+            value = entry["value"]
+            text = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name}{label_part} {text}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_event(
+    snapshot: Dict[str, dict],
+    kind: str = "snapshot",
+    time: Optional[float] = None,
+    **extra,
+) -> dict:
+    """Wrap a snapshot as one JSONL event record."""
+    event: dict = {"event": kind}
+    if time is not None:
+        event["time"] = time
+    event.update(extra)
+    event["metrics"] = snapshot
+    return event
+
+
+def write_jsonl(path: Union[str, Path], records: Iterable[dict]) -> Path:
+    """Write records one-JSON-object-per-line; returns the resolved path."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str))
+            handle.write("\n")
+    return path
+
+
+def summarize_histogram(entry: dict) -> dict:
+    """Compact (count, mean, p50, p95, p99) view of one histogram entry."""
+    count = entry["count"]
+    if not count:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    boundaries = entry["boundaries"]
+    counts = entry["counts"]
+
+    def quantile(q: float) -> float:
+        target = q * count
+        seen = 0
+        for i, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                return boundaries[min(i, len(boundaries) - 1)] if boundaries else 0.0
+        return boundaries[-1] if boundaries else 0.0
+
+    return {
+        "count": count,
+        "mean": entry["sum"] / count,
+        "p50": quantile(0.50),
+        "p95": quantile(0.95),
+        "p99": quantile(0.99),
+    }

@@ -1,0 +1,300 @@
+"""Metrics registry: counters, gauges, and log-scale histograms.
+
+The registry is the numeric half of the telemetry layer (spans are the
+structural half, see :mod:`repro.obs.spans`).  Design constraints, in order:
+
+* **Cheap when off.**  A disabled registry hands out a shared no-op
+  instrument, so instrumented code pays one attribute lookup and one no-op
+  call per event — no branching at the call site.
+* **Mergeable.**  The parallel experiment runner executes cells in worker
+  processes; workers ship :meth:`MetricsRegistry.snapshot` dictionaries
+  (plain picklable data) back to the parent, which folds them together with
+  :meth:`MetricsRegistry.merge`.  Merge is commutative and associative so
+  ``--jobs 4`` totals equal ``--jobs 1`` totals for the same seed.
+* **Simulation-clock-aware.**  Instruments never read wall clocks; any
+  timestamps come from the caller, which passes simulation time.
+
+Instruments are memoized per ``(name, labels)`` pair, so holding onto the
+returned object is an optimisation, not a requirement — but hot paths should
+hold it (the client caches its counters in ``_m_*`` attributes).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Log-scale (base-2) bucket boundaries for time-like observations, in
+#: seconds: 100 µs, 200 µs, ... ~209 s.  Observations above the last
+#: boundary land in the overflow bucket.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = tuple(1e-4 * (2.0 ** k) for k in range(22))
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing integer-or-float counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins scalar (current queue depth, configured interval)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram with an overflow bucket.
+
+    ``counts[i]`` holds observations ``<= boundaries[i]`` (and greater than
+    ``boundaries[i-1]``); ``counts[-1]`` is the overflow bucket.  Boundaries
+    are shared tuples, so a registry full of time histograms stores one
+    boundary list.
+    """
+
+    __slots__ = ("boundaries", "counts", "count", "sum")
+
+    def __init__(self, boundaries: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        self.boundaries: Tuple[float, ...] = tuple(boundaries)
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-boundary estimate of the ``q``-quantile (0 <= q <= 1)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                if i < len(self.boundaries):
+                    return self.boundaries[i]
+                return self.boundaries[-1] if self.boundaries else float("inf")
+        return self.boundaries[-1] if self.boundaries else float("inf")
+
+
+class _NoopInstrument:
+    """Stands in for every instrument type when the registry is disabled."""
+
+    __slots__ = ()
+
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    boundaries: Tuple[float, ...] = ()
+    counts: list = []
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NOOP = _NoopInstrument()
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, key: _LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Factory and store for named instruments.
+
+    ``counter``/``gauge``/``histogram`` create-or-return the instrument for
+    ``(name, labels)``.  A name must keep a single instrument type for the
+    registry's lifetime (mirrors Prometheus' data model and keeps snapshots
+    unambiguous).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, _LabelKey], object] = {}
+        self._types: Dict[str, str] = {}
+
+    # -- instrument factories -------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(name, "counter", Counter, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(name, "gauge", Gauge, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(  # type: ignore[return-value]
+            name, "histogram", lambda: Histogram(boundaries), labels
+        )
+
+    def _get(self, name, type_name, factory, labels):
+        if not self.enabled:
+            return _NOOP
+        declared = self._types.setdefault(name, type_name)
+        if declared != type_name:
+            raise TypeError(
+                f"metric {name!r} already registered as {declared}, "
+                f"requested as {type_name}"
+            )
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = factory()
+        return instrument
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Picklable, JSON-able view of every registered series.
+
+        Keys are Prometheus-style series names (``name{k="v"}``); values are
+        small dicts tagged with the instrument type.
+        """
+        out: Dict[str, dict] = {}
+        for (name, key), instrument in self._instruments.items():
+            series = _series_name(name, key)
+            kind = self._types[name]
+            if kind == "histogram":
+                out[series] = {
+                    "type": "histogram",
+                    "boundaries": list(instrument.boundaries),
+                    "counts": list(instrument.counts),
+                    "sum": instrument.sum,
+                    "count": instrument.count,
+                }
+            else:
+                out[series] = {"type": kind, "value": instrument.value}
+        return out
+
+    @staticmethod
+    def merge(*snapshots: Dict[str, dict]) -> Dict[str, dict]:
+        """Fold snapshots: counters and histograms add, gauges take max.
+
+        Max (not last-write) keeps the fold commutative, which is what makes
+        parallel-runner totals independent of worker scheduling.
+        """
+        merged: Dict[str, dict] = {}
+        for snap in snapshots:
+            for series, entry in snap.items():
+                have = merged.get(series)
+                if have is None:
+                    merged[series] = {
+                        k: (list(v) if isinstance(v, list) else v)
+                        for k, v in entry.items()
+                    }
+                    continue
+                if have["type"] != entry["type"]:
+                    raise TypeError(
+                        f"series {series!r} has conflicting types: "
+                        f"{have['type']} vs {entry['type']}"
+                    )
+                if entry["type"] == "counter":
+                    have["value"] += entry["value"]
+                elif entry["type"] == "gauge":
+                    have["value"] = max(have["value"], entry["value"])
+                else:
+                    if have["boundaries"] != entry["boundaries"]:
+                        raise ValueError(
+                            f"series {series!r} has mismatched histogram "
+                            "boundaries; cannot merge"
+                        )
+                    have["counts"] = [
+                        a + b for a, b in zip(have["counts"], entry["counts"])
+                    ]
+                    have["sum"] += entry["sum"]
+                    have["count"] += entry["count"]
+        return merged
+
+    @staticmethod
+    def diff(new: Dict[str, dict], old: Dict[str, dict]) -> Dict[str, dict]:
+        """Per-series delta ``new - old`` (gauges report their new value).
+
+        Series absent from ``old`` are taken verbatim from ``new``; this is
+        what ``--watch`` uses to print per-interval activity.
+        """
+        out: Dict[str, dict] = {}
+        for series, entry in new.items():
+            prev = old.get(series)
+            if prev is None or entry["type"] == "gauge":
+                out[series] = {
+                    k: (list(v) if isinstance(v, list) else v)
+                    for k, v in entry.items()
+                }
+                continue
+            if entry["type"] == "counter":
+                out[series] = {"type": "counter", "value": entry["value"] - prev["value"]}
+            else:
+                out[series] = {
+                    "type": "histogram",
+                    "boundaries": list(entry["boundaries"]),
+                    "counts": [
+                        a - b for a, b in zip(entry["counts"], prev["counts"])
+                    ],
+                    "sum": entry["sum"] - prev["sum"],
+                    "count": entry["count"] - prev["count"],
+                }
+        return out
+
+
+#: Shared disabled registry, analogous to ``sim.tracing.NULL_TRACE``: hand it
+#: to components whose telemetry you want fully off.
+NULL_METRICS = MetricsRegistry(enabled=False)

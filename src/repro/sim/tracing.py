@@ -8,6 +8,7 @@ and analyses filter them afterwards.  Tracing is optional everywhere — a
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -36,16 +37,25 @@ class Trace:
         self._subscribers: list[Callable[[TraceRecord], None]] = []
 
     def emit(self, time: float, category: str, actor: str, **detail: Any) -> None:
-        """Record one event (no-op when disabled)."""
+        """Record one event (no-op when disabled).
+
+        ``dropped`` counts records that were lost entirely: neither stored
+        (capacity hit) nor delivered to any live subscriber.  A record that
+        overflows capacity but reaches a subscriber was observed, not
+        dropped.
+        """
         if not self.enabled:
             return
         record = TraceRecord(time, category, actor, detail)
-        if self.capacity is not None and len(self.records) >= self.capacity:
-            self.dropped += 1
-        else:
+        stored = not (
+            self.capacity is not None and len(self.records) >= self.capacity
+        )
+        if stored:
             self.records.append(record)
         for subscriber in self._subscribers:
             subscriber(record)
+        if not stored and not self._subscribers:
+            self.dropped += 1
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for every future record (live monitoring)."""
@@ -72,6 +82,25 @@ class Trace:
         for record in self.filter(category, actor):
             match = record
         return match
+
+    def to_jsonl(self) -> str:
+        """Render the stored records as JSON Lines for artifact dumps.
+
+        One object per record with ``time``/``category``/``actor`` and, when
+        present, ``detail``.  Non-JSON-able detail values (enums, dataclass
+        instances) fall back to ``str``.
+        """
+        lines = []
+        for record in self.records:
+            payload: dict[str, Any] = {
+                "time": record.time,
+                "category": record.category,
+                "actor": record.actor,
+            }
+            if record.detail:
+                payload["detail"] = record.detail
+            lines.append(json.dumps(payload, default=str))
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def clear(self) -> None:
         self.records.clear()

@@ -19,6 +19,8 @@ from typing import Optional
 from repro.core.qos import QoSSpec
 from repro.core.selection import SelectionStrategy
 from repro.core.service import ServiceConfig, Testbed, build_testbed
+from repro.obs.calibration import CalibrationTracker
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.rng import Distribution, Normal
 from repro.workloads.clients import AlternatingClient, ClientWorkloadConfig
 
@@ -70,6 +72,8 @@ def build_paper_scenario(
     window_size: int = 20,
     strategy2: Optional[SelectionStrategy] = None,
     warmup_requests: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    calibration: Optional[CalibrationTracker] = None,
 ) -> PaperScenario:
     """The §6 testbed with client 2's QoS as the swept variable.
 
@@ -84,7 +88,7 @@ def build_paper_scenario(
         window_size=window_size,
         read_service_time=service_time or Normal(0.100, 0.050, floor=0.002),
     )
-    testbed = build_testbed(config, seed=seed)
+    testbed = build_testbed(config, seed=seed, metrics=metrics, calibration=calibration)
     service = testbed.service
 
     qos1 = client1_qos or QoSSpec(

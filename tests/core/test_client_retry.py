@@ -120,7 +120,7 @@ def crashed_replica_scenario(retry_policy, seed=21):
     # dispatched in the window before the membership eviction are
     # stranded on dead replicas.
     def crash_favourites():
-        for name in sorted(set(client._select_replicas(QOS))):
+        for name in sorted(set(client._select_replicas(QOS)[0])):
             testbed.network.crash(name)
 
     testbed.sim.schedule_at(2.5, crash_favourites)

@@ -1,0 +1,73 @@
+"""Parallel-runner telemetry equality: --jobs N must not change totals.
+
+Each cell's registry snapshot is produced in whatever worker process ran
+the cell; MetricsRegistry.merge and CalibrationTracker.merge are
+commutative folds, so the merged totals must be byte-identical whatever
+the job count or scheduling order.
+"""
+
+from repro.experiments.figure4 import merged_telemetry, run_figure4
+
+GRID = dict(
+    deadlines_ms=(120, 200),
+    probabilities=(0.9,),
+    lazy_intervals=(2.0,),
+    total_requests=60,
+    seed=3,
+    collect_metrics=True,
+)
+
+
+def drop_wall_clock(snapshot):
+    """The selection-overhead histogram times *wall-clock* CPU work (like
+    the Figure 3 measurement), so it is legitimately nondeterministic; all
+    simulation-derived series must match exactly."""
+    return {
+        series: entry
+        for series, entry in snapshot.items()
+        if not series.startswith("client_selection_overhead_seconds")
+    }
+
+
+def test_jobs4_metrics_equal_jobs1():
+    serial = run_figure4(jobs=1, **GRID)
+    parallel = run_figure4(jobs=4, **GRID)
+
+    metrics_1, calibration_1 = merged_telemetry(serial)
+    metrics_4, calibration_4 = merged_telemetry(parallel)
+    assert drop_wall_clock(metrics_1) == drop_wall_clock(metrics_4)
+    assert calibration_1 == calibration_4
+    # Sanity: the telemetry is real, not two empty dicts agreeing.
+    reads = [
+        entry["value"]
+        for series, entry in metrics_1.items()
+        if series.startswith("client_reads_issued")
+    ]
+    assert sum(reads) > 0
+    assert calibration_1 is not None
+    assert sum(calibration_1["strategies"]["state-based"]["count"]) > 0
+
+
+def test_every_cell_carries_its_own_snapshot():
+    result = run_figure4(jobs=2, **GRID)
+    for cell in result.cells.values():
+        assert cell.metrics is not None
+        assert cell.calibration is not None
+        assert any(
+            series.startswith("client_reads_issued")
+            for series in cell.metrics
+        )
+
+
+def test_metrics_off_by_default():
+    result = run_figure4(
+        jobs=1,
+        deadlines_ms=(200,),
+        probabilities=(0.9,),
+        lazy_intervals=(2.0,),
+        total_requests=20,
+        seed=3,
+    )
+    cell = next(iter(result.cells.values()))
+    assert cell.metrics is None
+    assert cell.calibration is None

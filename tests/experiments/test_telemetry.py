@@ -1,0 +1,122 @@
+"""The ``repro metrics`` cell: calibration acceptance + artifacts + report."""
+
+import json
+
+import pytest
+
+from repro.experiments import telemetry
+from repro.experiments.report import render_report
+from repro.obs.calibration import CalibrationTracker
+
+
+@pytest.fixture(scope="module")
+def instrumented_cell():
+    return telemetry.run_instrumented_cell(total_requests=200, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the model-based strategy's predictions are honest
+# ---------------------------------------------------------------------------
+def test_seeded_cell_is_well_calibrated(instrumented_cell):
+    _, calibration, scenario = instrumented_cell
+    strategy = scenario.client2.handler.strategy.name
+    assert strategy == "state-based"
+    rows = calibration.reliability(strategy)
+    assert rows, "no populated reliability buckets"
+    for row in [r for r in rows if r.count >= 10]:
+        assert row.ci_low <= row.mean_predicted <= row.ci_high
+    assert calibration.well_calibrated(strategy)
+
+
+def test_cell_metrics_cover_every_layer(instrumented_cell):
+    metrics, _, _ = instrumented_cell
+    snapshot = metrics.snapshot()
+    for prefix in (
+        "client_reads_issued",       # client
+        "replica_reads_served",      # replica base
+        "replica_lazy_updates_sent", # lazy publisher
+        "net_messages_delivered",    # network
+        "predictor_evaluations",     # prediction model
+    ):
+        total = sum(
+            entry["value"]
+            for series, entry in snapshot.items()
+            if series.startswith(prefix) and entry["type"] == "counter"
+        )
+        assert total > 0, f"no activity recorded under {prefix}"
+
+
+def test_render_report_prints_calibration_table(instrumented_cell):
+    metrics, calibration, _ = instrumented_cell
+    text = render_report(
+        metrics=metrics.snapshot(), calibration=calibration, title="t"
+    )
+    assert "calibration — state-based" in text
+    assert "Brier=" in text
+    assert "within CI" in text
+    assert "client_reads_issued" in text
+
+
+def test_watch_emits_periodic_deltas():
+    lines = []
+    telemetry.run_instrumented_cell(
+        total_requests=20, seed=0, watch=10.0, watch_sink=lines.append
+    )
+    assert len(lines) >= 2
+    assert any("client_reads_issued" in line for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI artifacts
+# ---------------------------------------------------------------------------
+def test_main_writes_parsable_artifacts(tmp_path, capsys):
+    out = tmp_path / "telemetry.jsonl"
+    prom = tmp_path / "metrics.prom"
+    code = telemetry.main(
+        [
+            "--quick",
+            "--check",
+            "--metrics-out", str(out),
+            "--prometheus", str(prom),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "calibration — state-based" in printed
+    assert "calibration check passed" in printed
+
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert records[0]["event"] == "meta"
+    merged = records[-1]
+    assert merged["event"] == "merged"
+    reads = [
+        entry["value"]
+        for series, entry in merged["metrics"].items()
+        if series.startswith("client_reads_issued")
+    ]
+    assert sum(reads) > 0
+    tracker = CalibrationTracker.from_dict(merged["calibration"])
+    assert tracker.observations("state-based") > 0
+
+    prom_text = prom.read_text()
+    assert "# TYPE client_reads_issued counter" in prom_text
+    assert "_bucket{" in prom_text
+
+
+def test_figure4_metrics_artifact(tmp_path):
+    from repro.experiments.figure4 import run_figure4, write_metrics_artifact
+
+    result = run_figure4(
+        deadlines_ms=(200,),
+        probabilities=(0.9,),
+        lazy_intervals=(2.0,),
+        total_requests=40,
+        seed=0,
+        collect_metrics=True,
+    )
+    path = tmp_path / "fig4.jsonl"
+    write_metrics_artifact(str(path), result, meta={"quick": True})
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records[0] == {"event": "meta", "experiment": "figure4", "quick": True}
+    assert [r["event"] for r in records[1:]] == ["cell", "merged"]
+    assert records[1]["deadline_ms"] == 200

@@ -1,0 +1,106 @@
+"""Calibration tracker: reliability buckets, Brier score, merge."""
+
+import random
+
+import pytest
+
+from repro.obs.calibration import CalibrationTracker
+
+
+def test_bucketing_and_counts():
+    tracker = CalibrationTracker(buckets=10)
+    tracker.observe("s", 0.95, True)
+    tracker.observe("s", 0.91, False)
+    tracker.observe("s", 0.15, True)
+    rows = tracker.reliability("s")
+    assert [(r.low, r.count) for r in rows] == [(0.1, 1), (0.9, 2)]
+    top = rows[-1]
+    assert top.timely == 1
+    assert top.observed == 0.5
+    assert top.mean_predicted == pytest.approx(0.93)
+
+
+def test_predictions_clamped_to_unit_interval():
+    tracker = CalibrationTracker(buckets=4)
+    tracker.observe("s", 1.7, True)
+    tracker.observe("s", -0.3, False)
+    rows = tracker.reliability("s")
+    assert rows[0].low == 0.0 and rows[-1].high == 1.0
+    assert tracker.observations("s") == 2
+
+
+def test_brier_score():
+    tracker = CalibrationTracker()
+    tracker.observe("s", 1.0, True)   # perfect: 0
+    tracker.observe("s", 0.0, True)   # worst: 1
+    assert tracker.brier_score("s") == pytest.approx(0.5)
+    assert tracker.brier_score("missing") == 0.0
+
+
+def test_honest_forecaster_is_well_calibrated():
+    rng = random.Random(7)
+    tracker = CalibrationTracker()
+    for _ in range(2000):
+        p = rng.uniform(0.3, 1.0)
+        tracker.observe("s", p, rng.random() < p)
+    assert tracker.well_calibrated("s")
+
+
+def test_dishonest_forecaster_is_not_well_calibrated():
+    rng = random.Random(7)
+    tracker = CalibrationTracker()
+    for _ in range(2000):
+        # Claims 95 % but delivers a coin flip.
+        tracker.observe("s", 0.95, rng.random() < 0.5)
+    assert not tracker.well_calibrated("s")
+
+
+def test_well_calibrated_ignores_sparse_buckets():
+    tracker = CalibrationTracker()
+    # 3 inconsistent samples: far too few to fail the check on their own.
+    for _ in range(3):
+        tracker.observe("s", 0.95, False)
+    assert not tracker.well_calibrated("s")  # no bucket with >= 10 samples
+    for _ in range(50):
+        tracker.observe("s", 0.55, True)
+        tracker.observe("s", 0.55, False)
+    assert tracker.well_calibrated("s", min_count=10)
+
+
+def test_round_trip_and_merge():
+    a = CalibrationTracker()
+    b = CalibrationTracker()
+    for _ in range(20):
+        a.observe("s", 0.9, True)
+        b.observe("s", 0.9, True)
+        b.observe("t", 0.4, False)
+    merged = CalibrationTracker.merge([a.to_dict(), None, b.to_dict()])
+    assert merged.observations("s") == 40
+    assert merged.observations("t") == 20
+    assert merged.strategies() == ["s", "t"]
+    clone = CalibrationTracker.from_dict(merged.to_dict())
+    assert clone.to_dict() == merged.to_dict()
+
+
+def test_merge_order_independent():
+    a = CalibrationTracker()
+    b = CalibrationTracker()
+    a.observe("s", 0.8, True)
+    b.observe("s", 0.2, False)
+    ab = CalibrationTracker.merge([a.to_dict(), b.to_dict()]).to_dict()
+    ba = CalibrationTracker.merge([b.to_dict(), a.to_dict()]).to_dict()
+    assert ab == ba
+
+
+def test_merge_rejects_bucket_mismatch():
+    a = CalibrationTracker(buckets=10)
+    b = CalibrationTracker(buckets=5)
+    a.observe("s", 0.5, True)
+    b.observe("s", 0.5, True)
+    with pytest.raises(ValueError):
+        CalibrationTracker.merge([a.to_dict(), b.to_dict()])
+
+
+def test_rejects_bad_bucket_count():
+    with pytest.raises(ValueError):
+        CalibrationTracker(buckets=0)

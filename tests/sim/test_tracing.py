@@ -71,3 +71,45 @@ def test_clear_resets():
     trace.emit(2.0, "x", "a")
     trace.clear()
     assert trace.records == [] and trace.dropped == 0
+
+
+def test_overflow_reaching_subscriber_is_not_dropped():
+    """A record past capacity that a subscriber observed was not lost."""
+    trace = Trace(capacity=1)
+    seen = []
+    trace.subscribe(seen.append)
+    trace.emit(1.0, "x", "a")
+    trace.emit(2.0, "x", "a")
+    assert len(trace.records) == 1
+    assert len(seen) == 2
+    assert trace.dropped == 0
+
+
+def test_to_jsonl_round_trips():
+    import json
+
+    trace = Trace()
+    trace.emit(1.0, "x", "a", n=1)
+    trace.emit(2.0, "y", "b")
+    lines = trace.to_jsonl().splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first == {"time": 1.0, "category": "x", "actor": "a", "detail": {"n": 1}}
+    assert second == {"time": 2.0, "category": "y", "actor": "b"}
+
+
+def test_to_jsonl_stringifies_unserializable_detail():
+    import enum
+    import json
+
+    class Kind(enum.Enum):
+        READ = "read"
+
+    trace = Trace()
+    trace.emit(1.0, "x", "a", kind=Kind.READ)
+    parsed = json.loads(trace.to_jsonl())
+    assert parsed["detail"]["kind"] == str(Kind.READ)
+
+
+def test_to_jsonl_empty_trace_is_empty_string():
+    assert Trace().to_jsonl() == ""

@@ -43,7 +43,8 @@ def test_all_commands_registered():
         if isinstance(a, type(parser._subparsers._group_actions[0]))
     )
     assert set(sub.choices) == {
-        "figure3", "figure4", "ablations", "validation", "chaos", "info"
+        "figure3", "figure4", "ablations", "validation", "chaos", "metrics",
+        "info",
     }
 
 
