@@ -7,6 +7,7 @@ Commands:
 * ``ablations`` — the A1–A9 parameter/baseline/failure/extension studies;
 * ``validation`` — staleness-model calibration + hot-spot avoidance;
 * ``chaos`` — seeded fault campaigns audited by consistency invariants;
+* ``overload`` — load-storm campaigns: shedding vs. unbounded queues;
 * ``metrics`` — one instrumented cell: telemetry + calibration report;
 * ``info`` — reproduction summary and module inventory.
 
@@ -72,11 +73,36 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         argv.append("--no-retry")
     if args.duration is not None:
         argv += ["--duration", str(args.duration)]
+    if args.membership_outage_weight is not None:
+        argv += ["--membership-outage-weight", str(args.membership_outage_weight)]
+    if args.overload_window is not None:
+        argv += ["--overload-window"] + [str(v) for v in args.overload_window]
+    if args.load_storm_weight is not None:
+        argv += ["--load-storm-weight", str(args.load_storm_weight)]
     if args.save:
         argv += ["--save", args.save]
     if args.trace_dir:
         argv += ["--trace-dir", args.trace_dir]
     return chaos.main(argv)
+
+
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from repro.experiments import overload
+
+    argv = ["--seeds", str(args.seeds), "--seed", str(args.seed)]
+    if args.quick:
+        argv.append("--quick")
+    if args.duration is not None:
+        argv += ["--duration", str(args.duration)]
+    if args.check:
+        argv.append("--check")
+    if args.save:
+        argv += ["--save", args.save]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    return overload.main(argv + _jobs_argv(args))
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -173,11 +199,53 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--quick", action="store_true")
     pc.add_argument("--membership-outage", action="store_true")
     pc.add_argument("--no-retry", action="store_true")
+    pc.add_argument(
+        "--membership-outage-weight",
+        type=float,
+        default=None,
+        metavar="W",
+        help="membership-outage weight (implies --membership-outage when > 0)",
+    )
+    pc.add_argument(
+        "--overload-window",
+        type=float,
+        nargs=2,
+        default=None,
+        metavar=("LOW", "HIGH"),
+        help="host-overload window bounds in seconds",
+    )
+    pc.add_argument(
+        "--load-storm-weight",
+        type=float,
+        default=None,
+        metavar="W",
+        help="traffic-burst (load-storm) weight in the fault mix",
+    )
     pc.add_argument("--save", metavar="PATH", help="write results as JSON")
     pc.add_argument(
         "--trace-dir", metavar="DIR", help="dump traces of violating campaigns"
     )
     pc.set_defaults(func=_cmd_chaos)
+
+    po = sub.add_parser(
+        "overload", help="load storms: shedding ladder vs. unbounded queues"
+    )
+    po.add_argument("--seeds", type=int, default=5, metavar="N")
+    po.add_argument("--seed", type=int, default=0, help="base seed")
+    po.add_argument("--duration", type=float, default=None, metavar="SECONDS")
+    po.add_argument("--quick", action="store_true")
+    po.add_argument(
+        "--check", action="store_true", help="exit non-zero on invariant breach"
+    )
+    po.add_argument("--save", metavar="PATH", help="write results as JSON")
+    po.add_argument(
+        "--metrics-out", metavar="PATH", help="write telemetry as JSONL"
+    )
+    po.add_argument(
+        "--trace-dir", metavar="DIR", help="dump traces of violating campaigns"
+    )
+    po.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
+    po.set_defaults(func=_cmd_overload)
 
     pm = sub.add_parser(
         "metrics", help="instrumented cell: telemetry + calibration report"

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.core.overload import DegradationPolicy
 from repro.core.prediction import ResponseTimePredictor
 from repro.core.qos import QoSSpec
 from repro.obs.calibration import CalibrationTracker
@@ -44,6 +45,7 @@ from repro.obs.spans import emit_span, span_root
 from repro.core.replica import ServiceGroups
 from repro.core.repository import ClientInfoRepository
 from repro.core.requests import (
+    OverloadReply,
     PerfBroadcast,
     ReadOnlyRegistry,
     ReadOutcome,
@@ -167,6 +169,8 @@ class ClientHandler(GroupEndpoint):
         rto: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
         calibration: Optional[CalibrationTracker] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        priority: Optional[str] = None,
     ) -> None:
         super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
         self.groups = groups
@@ -196,6 +200,11 @@ class ClientHandler(GroupEndpoint):
         self.gc_timeout = gc_timeout
         self.on_qos_violation = on_qos_violation
         self.trace = trace
+        self.degradation = degradation
+        self.priority = priority
+        # Replica-name -> earliest time a new dispatch there is allowed
+        # again (populated by OverloadReply.retry_after back-pressure).
+        self._shed_until: dict[str, float] = {}
 
         self._pending: dict[int, _PendingCall] = {}
         # Transmission times of recent requests, kept so late replies (the
@@ -241,6 +250,15 @@ class ClientHandler(GroupEndpoint):
         self._m_retry_resolved = counter("client_retry_resolved", **labels)
         self._m_hedge_resolved = counter("client_hedge_resolved", **labels)
         self._m_reads_salvaged = counter("client_reads_salvaged", **labels)
+
+        # Overload / degradation-ladder accounting (DESIGN.md §11).
+        self._m_overload_replies = counter("client_overload_replies", **labels)
+        self._m_reads_shed = counter("client_reads_shed", **labels)
+        self._m_steps_down = counter("client_degradation_steps_down", **labels)
+        self._m_steps_up = counter("client_degradation_steps_up", **labels)
+        self._g_degradation_level = self.metrics.gauge(
+            "client_degradation_level", **labels
+        )
 
     # ------------------------------------------------------------------
     # Registry-backed counters, exposed under their historical names.
@@ -296,6 +314,15 @@ class ClientHandler(GroupEndpoint):
     @property
     def reads_salvaged(self) -> int:
         return self._m_reads_salvaged.value
+
+    @property
+    def overload_replies(self) -> int:
+        return self._m_overload_replies.value
+
+    @property
+    def reads_shed(self) -> int:
+        """Reads the degradation ladder shed locally (never dispatched)."""
+        return self._m_reads_shed.value
 
     # ------------------------------------------------------------------
     # Public API
@@ -414,6 +441,11 @@ class ClientHandler(GroupEndpoint):
         callback: Optional[OutcomeCallback],
     ) -> int:
         t0 = self.now
+        if self.degradation is not None:
+            relaxed = self.degradation.admit(qos, self.priority)
+            if relaxed is None:
+                return self._shed_read_locally(callback)
+            qos = relaxed
         started = time.perf_counter()
         selection, predicted = self._select_replicas(qos)
         overhead = time.perf_counter() - started
@@ -517,10 +549,46 @@ class ClientHandler(GroupEndpoint):
         while len(self._recent_tm) > 4096:
             self._recent_tm.popitem(last=False)
 
+    def _shed_read_locally(self, callback: Optional[OutcomeCallback]) -> int:
+        """The degradation ladder refused this read before dispatch.
+
+        The application gets a failed :class:`ReadOutcome` on the next
+        simulation step; the read never reaches a replica and never enters
+        the timing statistics (``reads_shed`` accounts for it instead, so
+        ``observed_failure_probability`` keeps describing attempted reads).
+        """
+        request_id = next_request_id()
+        self._m_reads_shed.inc()
+        self.trace.emit(
+            self.now, "client.shed", self.name,
+            request_id=request_id, level=self.degradation.level
+            if self.degradation is not None else 0,
+        )
+        if callback is not None:
+            outcome = ReadOutcome(
+                request_id=request_id,
+                value=None,
+                response_time=None,
+                timing_failure=True,
+                replicas_selected=0,
+                first_replica=None,
+                deferred=False,
+                gsn=-1,
+            )
+            self.sim.schedule(0.0, callback, outcome)
+        return request_id
+
     def _select_replicas(
         self, qos: QoSSpec
     ) -> tuple[tuple[str, ...], Optional[float]]:
         candidates = self._candidates(qos)
+        if self.degradation is not None and self.degradation.prefer_secondaries:
+            # Ladder level >= prefer_secondaries_level: push read load off
+            # the (update-serving) primaries onto the lazier secondaries
+            # whenever any secondary is a candidate at all.
+            secondaries = [c for c in candidates if not c.is_primary]
+            if secondaries:
+                candidates = secondaries
         stale_factor = self.predictor.staleness_factor(
             qos.staleness_threshold, self.now
         )
@@ -603,6 +671,8 @@ class ClientHandler(GroupEndpoint):
     def on_group_message(self, group: str, sender: str, payload: Any) -> None:
         if isinstance(payload, Reply):
             self._on_reply(payload)
+        elif isinstance(payload, OverloadReply):
+            self._on_overload(payload)
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -655,6 +725,9 @@ class ClientHandler(GroupEndpoint):
             assert pending.qos is not None
             timing_failure = pending.failed or response_time > pending.qos.deadline
             self._m_reads_resolved.inc()
+            if self.degradation is not None and not timing_failure:
+                # Quiet evidence: the ladder may hysteretically step back up.
+                self._record_step(self.degradation.note_ok(self.now))
             if not pending.failed:
                 self._m_reads_judged.inc()
                 if timing_failure:
@@ -705,6 +778,89 @@ class ClientHandler(GroupEndpoint):
         )
         if pending.callback is not None:
             pending.callback(outcome)
+
+    # ------------------------------------------------------------------
+    # Overload replies and the degradation ladder (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def _on_overload(self, bounce: OverloadReply) -> None:
+        """A replica shed one of our reads instead of serving it late."""
+        self._m_overload_replies.inc()
+        until = self.now + bounce.retry_after
+        if until > self._shed_until.get(bounce.replica, 0.0):
+            self._shed_until[bounce.replica] = until
+        self.trace.emit(
+            self.now, "client.overload-reply", self.name,
+            request_id=bounce.request_id, replica=bounce.replica,
+            reason=bounce.reason, retry_after=bounce.retry_after,
+            queue_depth=bounce.queue_depth, pressure=bounce.pressure,
+        )
+        if self.degradation is not None:
+            self._record_step(self.degradation.note_overload(self.now))
+        pending = self._pending.get(bounce.request_id)
+        if pending is None or pending.completed:
+            return
+        pending.live.discard(bounce.replica)
+        if pending.live:
+            return  # another selected replica may still answer
+        # Every live target shed (or died): re-dispatch to a replica that
+        # is not backing us off, or wake when the earliest back-off ends.
+        if not self._retry_dispatch(pending, reason="overload"):
+            self._schedule_backoff_retry(pending)
+
+    def _backed_off(self) -> set[str]:
+        """Replicas we must not dispatch to yet (retry_after pending)."""
+        now = self.now
+        return {r for r, t in self._shed_until.items() if t > now}
+
+    def _schedule_backoff_retry(self, pending: _PendingCall) -> None:
+        """Arm a retry at the earliest back-off expiry — never before.
+
+        This is what keeps an :class:`OverloadReply` from burning the
+        retry budget immediately: instead of hammering the shedding
+        replica (or giving up), the read sleeps until some replica accepts
+        dispatches again, provided the deadline budget still allows it.
+        """
+        policy = self.retry_policy
+        if policy is None or pending.qos is None:
+            return
+        if pending.retries >= policy.max_retries:
+            return
+        waits = [t for t in self._shed_until.values() if t > self.now]
+        if not waits:
+            return
+        wake = min(waits)
+        deadline_at = pending.t0 + pending.qos.deadline
+        if wake > deadline_at - policy.min_remaining_budget:
+            return  # it could not finish in time anyway
+        if pending.retry_event is not None:
+            pending.retry_event.cancel()
+        pending.retry_event = self.sim.schedule(
+            wake - self.now, self._retry_checkpoint, pending.request.request_id
+        )
+
+    def _record_step(self, step) -> None:
+        """Account one degradation-ladder transition (telemetry + spans)."""
+        if step is None:
+            return
+        if step.down:
+            self._m_steps_down.inc()
+        else:
+            self._m_steps_up.inc()
+        self._g_degradation_level.set(step.to_level)
+        self.trace.emit(
+            self.now, "client.degradation", self.name,
+            from_level=step.from_level, to_level=step.to_level,
+            trigger=step.trigger,
+        )
+        if self.trace.enabled:
+            assert self.degradation is not None
+            emit_span(
+                self.trace, self.now, self.name,
+                f"degrade/{self.name}/{len(self.degradation.steps)}",
+                "degrade",
+                from_level=step.from_level, to_level=step.to_level,
+                trigger=step.trigger,
+            )
 
     # ------------------------------------------------------------------
     # Timing-failure detection (§5.4)
@@ -767,7 +923,11 @@ class ClientHandler(GroupEndpoint):
         remaining = (pending.t0 + pending.qos.deadline) - self.now
         if remaining < policy.min_remaining_budget:
             return False
-        target = self._next_best_replica(pending.qos, pending.tried, remaining)
+        # Replicas actively backing us off (OverloadReply.retry_after) are
+        # never retried before their back-off elapses.
+        target = self._next_best_replica(
+            pending.qos, pending.tried | self._backed_off(), remaining
+        )
         if target is None:
             return False
         pending.retries += 1
@@ -834,7 +994,7 @@ class ClientHandler(GroupEndpoint):
                 self._m_failover_redispatches.inc()
 
     def recovery_stats(self) -> dict[str, int]:
-        """Retry/hedge/failover counters for the experiment reports."""
+        """Retry/hedge/failover/overload counters for the reports."""
         return {
             "retries_sent": self.retries_sent,
             "hedges_sent": self.hedges_sent,
@@ -842,6 +1002,10 @@ class ClientHandler(GroupEndpoint):
             "retry_resolved": self.retry_resolved,
             "hedge_resolved": self.hedge_resolved,
             "reads_salvaged": self.reads_salvaged,
+            "overload_replies": self.overload_replies,
+            "reads_shed": self.reads_shed,
+            "degradation_steps_down": self._m_steps_down.value,
+            "degradation_steps_up": self._m_steps_up.value,
         }
 
     def _check_violation(self, qos: Optional[QoSSpec]) -> None:

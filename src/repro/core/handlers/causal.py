@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.core.client import ClientHandler
+from repro.core.overload import OverloadConfig
 from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
 from repro.core.requests import LazyUpdate, Reply, Request, RequestKind
 from repro.core.state import ReplicatedObject
@@ -74,6 +75,7 @@ class CausalReplicaHandler(ReplicaHandlerBase):
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
+        overload: Optional["OverloadConfig"] = None,
     ) -> None:
         super().__init__(
             name,
@@ -87,6 +89,7 @@ class CausalReplicaHandler(ReplicaHandlerBase):
             heartbeat_interval=heartbeat_interval,
             rto=rto,
             metrics=metrics,
+            overload=overload,
         )
         if lazy_update_interval <= 0:
             raise ValueError(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.overload import OverloadConfig
 from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
 from repro.core.requests import LazyUpdate, Request, RequestKind
 from repro.core.state import ReplicatedObject
@@ -44,6 +45,7 @@ class FifoReplicaHandler(ReplicaHandlerBase):
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
+        overload: Optional["OverloadConfig"] = None,
     ) -> None:
         super().__init__(
             name,
@@ -57,6 +59,7 @@ class FifoReplicaHandler(ReplicaHandlerBase):
             heartbeat_interval=heartbeat_interval,
             rto=rto,
             metrics=metrics,
+            overload=overload,
         )
         if lazy_update_interval <= 0:
             raise ValueError(

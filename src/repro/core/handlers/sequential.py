@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Optional
 
+from repro.core.overload import OverloadConfig
 from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
 from repro.core.requests import (
     GsnAssign,
@@ -76,6 +77,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         super().__init__(
             name,
@@ -89,6 +91,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             heartbeat_interval=heartbeat_interval,
             rto=rto,
             metrics=metrics,
+            overload=overload,
         )
         if lazy_update_interval <= 0:
             raise ValueError(
@@ -425,8 +428,27 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         if staleness <= threshold:
             self.enqueue_ready(pending)
         elif self.is_secondary:
+            if (
+                self.overload is not None
+                and self.overload.defer_capacity is not None
+                and len(self._deferred) >= self.overload.defer_capacity
+            ):
+                self._shed(pending, "defer-full")
+                return
             pending.defer_started_at = self.now
             self._deferred.append(pending)
+            if self.overload is not None and self.overload.expire_deferred:
+                qos = pending.request.qos
+                if qos is not None:
+                    # Bounce the read the moment its own deadline passes
+                    # (a late reply is a timing failure either way; an
+                    # explicit OverloadReply lets the client re-dispatch).
+                    delay = max(
+                        0.0, pending.request.sent_at + qos.deadline - self.now
+                    )
+                    self.sim.schedule(
+                        delay, self._expire_deferred, pending.request.request_id
+                    )
             if self.trace.enabled:
                 rid = pending.request.request_id
                 emit_span(
@@ -543,6 +565,49 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             assert pending.defer_started_at is not None
             pending.tb = self.now - pending.defer_started_at
             self.enqueue_ready(pending)
+
+    # ------------------------------------------------------------------
+    # Deferred-read expiry and cleanup (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def _expire_deferred(self, request_id: int) -> None:
+        """The owning client's deadline passed while the read sat deferred.
+
+        A no-op when the read was already drained by a lazy update (it is
+        no longer in the buffer) or the replica is down (recovery cleanup
+        bounces whatever remains).
+        """
+        if not self.up:
+            return
+        for i, pending in enumerate(self._deferred):
+            if pending.request.request_id == request_id:
+                del self._deferred[i]
+                self._shed(pending, "defer-expired")
+                return
+
+    def _fail_deferred(self, reason: str) -> None:
+        """Bounce every buffered deferred read with an explicit reply.
+
+        Replaces the silent ``_deferred.clear()`` on view change/recovery:
+        a dropped deferred read now produces an
+        :class:`~repro.core.requests.OverloadReply`, so the client's retry
+        accounting stays honest instead of waiting out a timing failure —
+        or worse, receiving a zombie reply after the next lazy update for
+        a request it has long since written off.
+        """
+        dropped, self._deferred = self._deferred, []
+        for pending in dropped:
+            if self.up and self.network is not None:
+                self._shed(pending, reason)
+
+    def flush_pending(self) -> None:
+        """Crash-recovery flush also empties the deferred-read buffer.
+
+        Without this, a crashed-and-recovered secondary retained its
+        pre-crash ``_deferred`` entries and served them after the next
+        lazy update — replies to requests whose clients gave up long ago.
+        """
+        super().flush_pending()
+        self._fail_deferred("defer-dropped-recovery")
 
     # ------------------------------------------------------------------
     # Staleness broadcast fields (§5.4.1)
@@ -697,11 +762,10 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         if self._gap_watch_event is not None:
             self._gap_watch_event.cancel()
             self._gap_watch_event = None
-        self.flush_pending()
+        self.flush_pending()  # also bounces deferred reads explicitly
         self._awaiting_gsn.clear()
         self._commit_wait.clear()
         self._stale_wait.clear()
-        self._deferred.clear()
         self._update_in_flight = None
         self.trace.emit(
             self.now, "replica.state-transfer-start", self.name,

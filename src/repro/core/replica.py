@@ -21,7 +21,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.core.requests import PerfBroadcast, Reply, Request, RequestKind, StalenessInfo
+from repro.core.overload import OverloadConfig, PressureMonitor
+from repro.core.requests import (
+    OverloadReply,
+    PerfBroadcast,
+    Reply,
+    Request,
+    RequestKind,
+    StalenessInfo,
+)
 from repro.core.state import ReplicatedObject
 from repro.groups.group import GroupEndpoint
 from repro.groups.membership import View
@@ -82,6 +90,7 @@ class ReplicaHandlerBase(GroupEndpoint):
         heartbeat_interval: float = 0.25,
         rto: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
         self.groups = groups
@@ -92,6 +101,11 @@ class ReplicaHandlerBase(GroupEndpoint):
         self.trace = trace
         self.publish_performance = publish_performance
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.overload = overload
+        self.pressure: Optional[PressureMonitor] = (
+            PressureMonitor.from_config(overload) if overload is not None else None
+        )
+        self.queue_depth_peak = 0
         self._ready: deque[PendingRequest] = deque()
         self._busy = False
         self._incarnation = 0
@@ -169,9 +183,95 @@ class ReplicaHandlerBase(GroupEndpoint):
     # Processing queue
     # ------------------------------------------------------------------
     def enqueue_ready(self, pending: PendingRequest) -> None:
-        """Hand a request whose ordering constraints are met to the server."""
+        """Hand a request whose ordering constraints are met to the server.
+
+        With an :class:`OverloadConfig`, reads may be *shed* here instead:
+        bounded queue full, deadline already passed, or predicted wait
+        exceeding the remaining budget.  Updates are never shed — the
+        sequential commit order admits no holes (DESIGN.md §11).
+        """
+        if self.overload is not None and pending.request.kind is RequestKind.READ:
+            reason = self._shed_reason(pending)
+            if reason is not None:
+                self._shed(pending, reason)
+                return
         self._ready.append(pending)
+        if self.queue_depth > self.queue_depth_peak:
+            self.queue_depth_peak = self.queue_depth
         self._maybe_start()
+
+    def _shed_reason(self, pending: PendingRequest) -> Optional[str]:
+        """Why this read should bounce right now, or None to admit it."""
+        config = self.overload
+        assert config is not None
+        qos = pending.request.qos
+        remaining = None
+        if qos is not None:
+            remaining = pending.request.sent_at + qos.deadline - self.now
+        if config.shed_expired and remaining is not None and remaining <= 0.0:
+            return "deadline-passed"
+        if (
+            config.queue_capacity is not None
+            and len(self._ready) >= config.queue_capacity
+        ):
+            return "queue-full"
+        if (
+            config.shed_predicted
+            and remaining is not None
+            and self.pressure is not None
+            and self.pressure.samples > 0
+            and self.pressure.expected_wait(self.queue_depth) > remaining
+        ):
+            return "predicted-late"
+        return None
+
+    def _shed(self, pending: PendingRequest, reason: str) -> None:
+        """Bounce a read with an explicit :class:`OverloadReply`.
+
+        Also used without an :class:`OverloadConfig` by the recovery-path
+        deferred-read cleanup (the silent-drop bugfix): every dropped read
+        gets an explicit failure reply so client accounting stays honest.
+        """
+        config = self.overload
+        expected = (
+            self.pressure.expected_wait(max(1, self.queue_depth))
+            if self.pressure is not None
+            else 0.0
+        )
+        min_after = config.min_retry_after if config is not None else 0.05
+        retry_after = max(min_after, 0.5 * expected)
+        level = self.pressure.level if self.pressure is not None else 0
+        reply = OverloadReply(
+            request_id=pending.request.request_id,
+            replica=self.name,
+            reason=reason,
+            retry_after=retry_after,
+            queue_depth=self.queue_depth,
+            pressure=level,
+        )
+        self.gsend(self.groups.qos, pending.request.client, reply)
+        self._counter("replica_reads_shed").inc()
+        self.metrics.counter(
+            "replica_reads_shed_by_reason", replica=self.name, reason=reason
+        ).inc()
+        self.trace.emit(
+            self.now,
+            "replica.shed",
+            self.name,
+            request_id=pending.request.request_id,
+            reason=reason,
+            retry_after=retry_after,
+            queue_depth=self.queue_depth,
+            pressure=level,
+        )
+        if self.trace.enabled:
+            rid = pending.request.request_id
+            emit_span(
+                self.trace, self.now, self.name,
+                f"{span_root(rid)}/shed/{self.name}", "shed",
+                reason=reason, retry_after=retry_after,
+                queue_depth=self.queue_depth, pressure=level,
+            )
 
     def flush_pending(self) -> None:
         """Drop every queued and in-flight request (crash recovery).
@@ -217,6 +317,15 @@ class ReplicaHandlerBase(GroupEndpoint):
         self.busy_time += ts
         assert pending.started_at is not None
         tq = max(0.0, (pending.started_at - pending.arrived_at) - pending.tb)
+        if self.pressure is not None:
+            level = self.pressure.observe(len(self._ready), tq, ts)
+            self.metrics.gauge("replica_pressure_level", replica=self.name).set(level)
+            self.metrics.gauge("replica_queue_depth", replica=self.name).set(
+                len(self._ready)
+            )
+            self.metrics.gauge(
+                "replica_queue_depth_peak", replica=self.name
+            ).set(self.queue_depth_peak)
         value = self.execute(pending)
         t1 = ts + tq + pending.tb
         reply = Reply(

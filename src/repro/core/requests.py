@@ -113,6 +113,29 @@ class Reply:
 # Sequencer payloads (§4.1)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
+class OverloadReply:
+    """An explicit bounce instead of a late (or never) response.
+
+    Sent by a replica that *sheds* a read — bounded queue full, deadline
+    already passed, predicted wait exceeding the remaining budget, or a
+    deferred read expiring/being dropped during recovery — so the client
+    learns immediately that this replica will not answer, instead of
+    riding out a timing failure.  ``retry_after`` is the replica's own
+    back-pressure hint (seconds); the client must not re-dispatch to the
+    same replica before it elapses.  ``queue_depth`` and ``pressure``
+    feed the client-side degradation ladder (DESIGN.md §11).
+    """
+
+    request_id: int
+    replica: str
+    reason: str  # "queue-full" | "deadline-passed" | "predicted-late"
+    #            | "defer-full" | "defer-expired" | "defer-dropped-recovery"
+    retry_after: float
+    queue_depth: int
+    pressure: int = 0  # the replica's discrete pressure level at shed time
+
+
+@dataclass(frozen=True)
 class GsnAssign:
     """GSN assignment broadcast by the sequencer.
 

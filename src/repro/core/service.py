@@ -22,6 +22,7 @@ from typing import Callable, Optional, Sequence
 from repro.core.client import ClientHandler, RetryPolicy
 from repro.core.handlers.fifo import FifoReplicaHandler
 from repro.core.handlers.sequential import SequentialReplicaHandler
+from repro.core.overload import DegradationPolicy, OverloadConfig
 from repro.core.qos import OrderingGuarantee, QoSSpec
 from repro.core.replica import ReplicaHandlerBase, ServiceGroups
 from repro.core.selection import SelectionStrategy
@@ -71,6 +72,10 @@ class ServiceConfig:
     rto: float = 0.05
     gsn_wait_timeout: float = 0.25
     gc_timeout: float = 30.0
+    # Overload protection (DESIGN.md §11).  None (the default) disables
+    # shedding, bounded queues, and deferred-read expiry entirely — the
+    # service behaves bit-identically to builds that predate the feature.
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_primaries < 1:
@@ -147,6 +152,7 @@ class ReplicatedService:
             heartbeat_interval=cfg.heartbeat_interval,
             rto=cfg.rto,
             metrics=self.metrics,
+            overload=cfg.overload,
         )
         handler_cls = replica_handler_for(cfg.ordering)
         if handler_cls is SequentialReplicaHandler:
@@ -321,6 +327,8 @@ class ReplicatedService:
         retry_policy: Optional[RetryPolicy] = None,
         on_qos_violation: Optional[Callable[[float], None]] = None,
         host: Optional[Host] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        priority: Optional[str] = None,
     ) -> ClientHandler:
         """Create and wire a client gateway handler for this service."""
         from repro.core.handlers import client_handler_for
@@ -344,6 +352,8 @@ class ReplicatedService:
             retry_policy=retry_policy,
             gc_timeout=cfg.gc_timeout,
             on_qos_violation=on_qos_violation,
+            degradation=degradation,
+            priority=priority,
             trace=self.trace,
             heartbeat_interval=cfg.heartbeat_interval,
             rto=cfg.rto,

@@ -41,7 +41,11 @@ from repro.obs.metrics import MetricsRegistry
 from repro.sim.process import Process, Timeout
 from repro.sim.rng import Normal, seed_for
 from repro.sim.tracing import Trace
-from repro.workloads.generators import OpenLoopUpdater, PeriodicReader
+from repro.workloads.generators import (
+    ArrivalRateController,
+    OpenLoopUpdater,
+    PeriodicReader,
+)
 
 READ_QOS = QoSSpec(staleness_threshold=10, deadline=1.0, min_probability=0.5)
 DRAIN_GRACE = 6.0  # post-campaign window for retransmits + state transfers
@@ -76,6 +80,7 @@ def run_campaign(
     retry: bool = True,
     chaos_config: Optional[ChaosConfig] = None,
     trace: Optional[Trace] = None,
+    chaos_overrides: Optional[dict] = None,
 ) -> CampaignResult:
     """Run one seeded fault campaign and audit its trace.
 
@@ -115,12 +120,28 @@ def run_campaign(
         "reader", read_only_methods={"get"}, retry_policy=policy
     )
 
+    overrides = dict(chaos_overrides or {})
+    overrides.setdefault(
+        "membership_outage_weight", 1.0 if membership_outage else 0.0
+    )
+    # A load storm needs the rate controller shared between the chaos
+    # engine and the generators; leave it out entirely when the fault is
+    # off so existing campaigns are untouched.
+    storming = overrides.get("load_storm_weight", 0.0) > 0 or (
+        chaos_config is not None and chaos_config.load_storm_weight > 0
+    )
+    rate_controller = ArrivalRateController() if storming else None
+
     warmup = 2.0
     workload_span = warmup + duration + DRAIN_GRACE / 2
     updater = OpenLoopUpdater(
-        sim, feed, testbed.rng, rate=4.0, duration=workload_span
+        sim, feed, testbed.rng, rate=4.0, duration=workload_span,
+        rate_controller=rate_controller,
     )
     reader_gen = PeriodicReader(
+        sim, reader, READ_QOS, period=0.1, duration=workload_span,
+        rate_controller=rate_controller,
+    ) if storming else PeriodicReader(
         sim, reader, READ_QOS, period=0.1, count=int(workload_span / 0.1)
     )
 
@@ -141,15 +162,12 @@ def run_campaign(
             membership=testbed.membership.name if membership_outage else None,
             protected=(service.primaries[0].name,),
         ),
-        chaos_config
-        or ChaosConfig(
-            duration=duration,
-            membership_outage_weight=1.0 if membership_outage else 0.0,
-        ),
+        chaos_config or ChaosConfig(duration=duration, **overrides),
         rng=testbed.rng.stream("chaos.engine"),
         repair=repair,
         trace=trace,
         metrics=metrics,
+        rate_controller=rate_controller,
     )
 
     def repair_sweep() -> None:
@@ -334,6 +352,7 @@ def run_chaos_suite(
     membership_outage: bool = False,
     retry: bool = True,
     trace_dir: Optional[Path] = None,
+    chaos_overrides: Optional[dict] = None,
 ) -> list[CampaignResult]:
     results = []
     for seed in seeds:
@@ -344,6 +363,7 @@ def run_chaos_suite(
             membership_outage=membership_outage,
             retry=retry,
             trace=trace,
+            chaos_overrides=chaos_overrides,
         )
         results.append(result)
         if result.violations and trace_dir is not None:
@@ -410,6 +430,27 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--no-retry", action="store_true", help="disable the client retry policy"
     )
+    parser.add_argument(
+        "--membership-outage-weight",
+        type=float,
+        default=None,
+        help="weight of membership-service outages in the mix "
+        "(implies --membership-outage when positive)",
+    )
+    parser.add_argument(
+        "--overload-window",
+        type=float,
+        nargs=2,
+        default=None,
+        metavar=("LOW", "HIGH"),
+        help="host-overload window bounds in seconds",
+    )
+    parser.add_argument(
+        "--load-storm-weight",
+        type=float,
+        default=None,
+        help="weight of traffic-burst (load-storm) faults in the mix",
+    )
     parser.add_argument("--save", type=str, default=None)
     parser.add_argument(
         "--trace-dir",
@@ -422,12 +463,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     count = 3 if args.quick else args.seeds
     duration = 8.0 if args.quick else args.duration
     seeds = [seed_for(args.seed, "chaos", i) for i in range(count)]
+    overrides: dict = {}
+    if args.membership_outage_weight is not None:
+        overrides["membership_outage_weight"] = args.membership_outage_weight
+    if args.overload_window is not None:
+        overrides["overload_window"] = tuple(args.overload_window)
+    if args.load_storm_weight is not None:
+        overrides["load_storm_weight"] = args.load_storm_weight
+    membership_outage = args.membership_outage or (
+        (args.membership_outage_weight or 0.0) > 0
+    )
     results = run_chaos_suite(
         seeds,
         duration=duration,
-        membership_outage=args.membership_outage,
+        membership_outage=membership_outage,
         retry=not args.no_retry,
         trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+        chaos_overrides=overrides or None,
     )
     print(summarize(results))
 

@@ -1,0 +1,556 @@
+"""Load-storm campaigns: shedding + degradation vs. unbounded queues.
+
+Drives seeded traffic bursts (the ``load_storm`` chaos fault) through two
+configurations of the same testbed:
+
+* **shed** — replicas carry an :class:`~repro.core.overload.OverloadConfig`
+  (bounded queue, deadline-aware shedding, deferred-read expiry) and the
+  clients walk the :class:`~repro.core.overload.DegradationPolicy` ladder;
+* **unbounded** — the pre-overload runtime: queues grow without bound and
+  every queued read is served, however late.
+
+Each shed cell is audited against the overload invariants (DESIGN.md §11):
+
+* **bounded queues** — no replica's queue-depth peak ever exceeds the
+  configured capacity (plus the one in-service slot and the single
+  unsheddable update the commit path keeps in flight);
+* **no stranded deferred reads** — after the drain window every
+  secondary's deferred-read buffer is empty: expired and recovery-dropped
+  reads were *bounced*, not leaked;
+* **audited degradation** — every ladder transition appears both in the
+  client's recovery counters and in the trace, and every locally-shed
+  read is accounted;
+* **storm pressure is real** — at least one storm was injected and the
+  replica-side shed path actually fired (otherwise the comparison below
+  is vacuous).
+
+Across the suite, the acceptance comparison: the high-priority (vip)
+client's p99 effective latency under storms must be strictly better with
+shedding than without — that is the whole point of bouncing bulk traffic
+early.
+
+``python -m repro.experiments.overload --check`` (or ``repro overload``)
+exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.client import RetryPolicy
+from repro.core.overload import (
+    DegradationConfig,
+    DegradationPolicy,
+    OverloadConfig,
+)
+from repro.core.priority import PriorityMapper
+from repro.core.qos import QoSSpec
+from repro.core.service import ServiceConfig, build_testbed
+from repro.experiments.report import format_table, render_report, save_results
+from repro.experiments.runner import CellSpec, run_cells
+from repro.groups.membership import MembershipConfig
+from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.rng import Normal, seed_for
+from repro.sim.tracing import Trace
+from repro.workloads.generators import (
+    ArrivalRateController,
+    OpenLoopUpdater,
+    PeriodicReader,
+)
+
+#: The platinum client: tight staleness, high P_c(d) — never sheddable by
+#: the ladder (its priority sits above the bronze shed floor).
+VIP_QOS = QoSSpec(staleness_threshold=10, deadline=0.5, min_probability=0.99)
+#: The bulk client: relaxed staleness, bronze P_c(d) — first to be shed.
+BULK_QOS = QoSSpec(staleness_threshold=30, deadline=0.5, min_probability=0.5)
+
+#: Replica-side protection used by the shed cells.
+SHED_CONFIG = OverloadConfig(queue_capacity=16, defer_capacity=64)
+
+WARMUP = 2.0
+DRAIN_GRACE = 5.0
+
+
+def storm_chaos_config(duration: float) -> ChaosConfig:
+    """A storm-only fault mix: no crashes, partitions, or loss."""
+    return ChaosConfig(
+        duration=duration,
+        mean_interval=1.0,
+        crash_weight=0.0,
+        partition_weight=0.0,
+        overload_weight=0.0,
+        loss_weight=0.0,
+        load_storm_weight=1.0,
+        storm_window=(1.0, 2.5),
+        storm_factor=(4.0, 8.0),
+    )
+
+
+@dataclass
+class OverloadCellResult:
+    """Outcome of one (seed, mode) campaign cell."""
+
+    seed: int
+    mode: str  # "shed" | "unbounded"
+    duration: float
+    violations: list[str]
+    storms: int
+    vip_issued: int
+    vip_resolved: int
+    vip_timing_failures: int
+    vip_latencies: list[float]  # effective latency per vip read
+    bulk_issued: int
+    bulk_timing_failures: int
+    replica_reads_shed: int
+    client_reads_shed: int
+    overload_replies: int
+    degradation_steps_down: int
+    degradation_steps_up: int
+    queue_depth_peaks: dict[str, int] = field(default_factory=dict)
+    recovery: dict[str, int] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    @property
+    def vip_p99(self) -> float:
+        return percentile(self.vip_latencies, 0.99)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile; +inf for an empty sample."""
+    if not values:
+        return float("inf")
+    ordered = sorted(values)
+    index = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[index]
+
+
+def effective_latency(outcome, deadline: float) -> float:
+    """Latency a caller *experienced*: late or lost reads cost 2x the
+    deadline, so percentiles cannot be flattered by dropped replies."""
+    if outcome.value is not None and outcome.response_time is not None:
+        return outcome.response_time
+    return 2.0 * deadline
+
+
+def run_overload_cell(
+    seed: int,
+    mode: str,
+    duration: float = 12.0,
+    trace_dir: Optional[str] = None,
+) -> OverloadCellResult:
+    """Run one seeded storm campaign in ``shed`` or ``unbounded`` mode."""
+    if mode not in ("shed", "unbounded"):
+        raise ValueError(f"unknown mode {mode!r}")
+    shed = mode == "shed"
+    trace = Trace(enabled=True)
+    metrics = MetricsRegistry()
+    config = ServiceConfig(
+        name="svc",
+        num_primaries=3,
+        num_secondaries=3,
+        lazy_update_interval=0.3,
+        read_service_time=Normal(0.020, 0.005, floor=0.002),
+        heartbeat_interval=0.1,
+        suspect_timeout=0.35,
+        gsn_wait_timeout=0.15,
+        gc_timeout=4.0,
+        overload=SHED_CONFIG if shed else None,
+    )
+    testbed = build_testbed(
+        config,
+        seed=seed,
+        trace=trace,
+        metrics=metrics,
+        membership_config=MembershipConfig(
+            heartbeat_interval=0.1, suspect_timeout=0.35, sweep_interval=0.1
+        ),
+    )
+    sim, service, network = testbed.sim, testbed.service, testbed.network
+
+    mapper = PriorityMapper()
+    policy = RetryPolicy(max_retries=1)
+    vip_ladder = DegradationPolicy(DegradationConfig(), mapper) if shed else None
+    bulk_ladder = DegradationPolicy(DegradationConfig(), mapper) if shed else None
+    feed = service.create_client("feed", read_only_methods={"get"})
+    vip = service.create_client(
+        "vip",
+        read_only_methods={"get"},
+        retry_policy=policy,
+        degradation=vip_ladder,
+        priority="platinum",
+    )
+    bulk = service.create_client(
+        "bulk",
+        read_only_methods={"get"},
+        retry_policy=policy,
+        degradation=bulk_ladder,
+        priority="bronze",
+    )
+
+    controller = ArrivalRateController()
+    span = WARMUP + duration + DRAIN_GRACE / 2
+    updater = OpenLoopUpdater(
+        sim, feed, testbed.rng, rate=2.0, duration=span
+    )
+    vip_reader = PeriodicReader(
+        sim, vip, VIP_QOS, period=0.04, duration=span,
+        rate_controller=controller,
+    )
+    bulk_reader = PeriodicReader(
+        sim, bulk, BULK_QOS, period=0.02, duration=span,
+        rate_controller=controller,
+    )
+
+    engine = ChaosEngine(
+        network,
+        ChaosTargets(
+            primaries=tuple(p.name for p in service.primaries),
+            secondaries=tuple(s.name for s in service.secondaries),
+            protected=(service.primaries[0].name,),
+        ),
+        storm_chaos_config(duration),
+        rng=testbed.rng.stream("chaos.engine"),
+        trace=trace,
+        metrics=metrics,
+        rate_controller=controller,
+    )
+
+    sim.run(until=WARMUP)
+    engine.start()
+    sim.run(until=WARMUP + duration + DRAIN_GRACE)
+
+    storms = sum(1 for e in engine.events if e.kind == "load-storm")
+    recovery: dict[str, int] = {}
+    for client in (vip, bulk):
+        for key, value in client.recovery_stats().items():
+            recovery[key] = recovery.get(key, 0) + value
+    peaks = {
+        handler.name: handler.queue_depth_peak
+        for handler in service.all_replicas()
+    }
+    replica_shed = sum(
+        entry["value"]
+        for series, entry in metrics.snapshot().items()
+        if series.startswith("replica_reads_shed{") or series == "replica_reads_shed"
+        if entry["type"] == "counter"
+    )
+
+    violations = (
+        _check_overload_invariants(
+            testbed, (vip, bulk), (vip_ladder, bulk_ladder), storms, trace
+        )
+        if shed
+        else []
+    )
+
+    result = OverloadCellResult(
+        seed=seed,
+        mode=mode,
+        duration=duration,
+        violations=violations,
+        storms=storms,
+        vip_issued=vip_reader.issued,
+        vip_resolved=sum(1 for o in vip_reader.outcomes if o.value is not None),
+        vip_timing_failures=sum(
+            1 for o in vip_reader.outcomes if o.timing_failure
+        ),
+        vip_latencies=[
+            effective_latency(o, VIP_QOS.deadline) for o in vip_reader.outcomes
+        ],
+        bulk_issued=bulk_reader.issued,
+        bulk_timing_failures=sum(
+            1 for o in bulk_reader.outcomes if o.timing_failure
+        ),
+        replica_reads_shed=int(replica_shed),
+        client_reads_shed=vip.reads_shed + bulk.reads_shed,
+        overload_replies=vip.overload_replies + bulk.overload_replies,
+        degradation_steps_down=recovery.get("degradation_steps_down", 0),
+        degradation_steps_up=recovery.get("degradation_steps_up", 0),
+        queue_depth_peaks=peaks,
+        recovery=recovery,
+        events=[f"t={e.time:.3f} {e.kind} {e.target}" for e in engine.events],
+        metrics=metrics.snapshot(),
+    )
+    if result.violations and trace_dir is not None:
+        directory = Path(trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"overload-seed{seed}-{mode}.trace"
+        with path.open("w") as fh:
+            for line in result.violations:
+                fh.write(f"VIOLATION {line}\n")
+            for line in result.events:
+                fh.write(f"EVENT {line}\n")
+            for record in trace.records:
+                fh.write(
+                    f"{record.time:.6f} {record.category} "
+                    f"{record.actor} {record.detail}\n"
+                )
+        (directory / f"overload-seed{seed}-{mode}.jsonl").write_text(
+            trace.to_jsonl()
+        )
+    return result
+
+
+def _check_overload_invariants(
+    testbed, clients, ladders, storms: int, trace: Trace
+) -> list[str]:
+    violations: list[str] = []
+    service = testbed.service
+
+    # Bounded queues: capacity, plus the in-service slot (queue_depth
+    # counts it) and the single unsheddable update the commit path keeps
+    # in flight on a primary.
+    capacity = SHED_CONFIG.queue_capacity
+    assert capacity is not None
+    bound = capacity + 2
+    for handler in service.all_replicas():
+        if handler.queue_depth_peak > bound:
+            violations.append(
+                f"queue-bound: {handler.name} peaked at "
+                f"{handler.queue_depth_peak} > {bound}"
+            )
+
+    # No stranded deferred reads after the drain window.
+    for handler in service.secondaries:
+        stranded = len(getattr(handler, "_deferred", ()))
+        if stranded:
+            violations.append(
+                f"deferred-leak: {handler.name} still buffers {stranded} reads"
+            )
+
+    # Audited degradation: counters, policy state, and trace must agree.
+    traced_steps = len(list(trace.filter("client.degradation")))
+    policy_steps = sum(len(ladder.steps) for ladder in ladders)
+    counted_steps = sum(
+        client.recovery_stats()["degradation_steps_down"]
+        + client.recovery_stats()["degradation_steps_up"]
+        for client in clients
+    )
+    if not traced_steps == policy_steps == counted_steps:
+        violations.append(
+            f"degradation-audit: trace={traced_steps} "
+            f"policy={policy_steps} counters={counted_steps} disagree"
+        )
+    for client, ladder in zip(clients, ladders):
+        if client.reads_shed != ladder.reads_shed:
+            violations.append(
+                f"shed-audit: {client.name} counted {client.reads_shed} "
+                f"local sheds but its ladder shed {ladder.reads_shed}"
+            )
+
+    # Every issued read was judged: nothing is silently dropped.
+    for client in clients:
+        if client.reads_issued != client.reads_judged:
+            violations.append(
+                f"accounting: {client.name} issued {client.reads_issued} "
+                f"reads but judged {client.reads_judged}"
+            )
+
+    if storms == 0:
+        violations.append("storm: no load storm was injected")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Suite harness + CLI
+# ---------------------------------------------------------------------------
+def run_overload_suite(
+    seeds: list[int],
+    duration: float = 12.0,
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+) -> list[OverloadCellResult]:
+    """Both modes for every seed; results ordered seed-major."""
+    specs = [
+        CellSpec(
+            (seed, mode),
+            run_overload_cell,
+            {
+                "seed": seed,
+                "mode": mode,
+                "duration": duration,
+                "trace_dir": trace_dir,
+            },
+        )
+        for seed in seeds
+        for mode in ("shed", "unbounded")
+    ]
+    return run_cells(specs, jobs=jobs, progress=True, label="overload")
+
+
+def suite_violations(results: list[OverloadCellResult]) -> list[str]:
+    """Cell-level violations plus the cross-mode p99 acceptance check."""
+    violations = [
+        f"seed {r.seed} [{r.mode}]: {v}" for r in results for v in r.violations
+    ]
+    shed = [x for r in results if r.mode == "shed" for x in r.vip_latencies]
+    unbounded = [
+        x for r in results if r.mode == "unbounded" for x in r.vip_latencies
+    ]
+    if shed and unbounded:
+        shed_p99 = percentile(shed, 0.99)
+        unbounded_p99 = percentile(unbounded, 0.99)
+        if not shed_p99 < unbounded_p99:
+            violations.append(
+                f"p99: vip effective latency with shedding ({shed_p99:.4f}s) "
+                f"is not better than unbounded ({unbounded_p99:.4f}s)"
+            )
+    return violations
+
+
+def summarize(results: list[OverloadCellResult]) -> str:
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.seed,
+                r.mode,
+                r.storms,
+                r.vip_issued,
+                f"{percentile(r.vip_latencies, 0.99):.4f}",
+                r.vip_timing_failures,
+                r.bulk_timing_failures,
+                r.replica_reads_shed,
+                r.client_reads_shed,
+                f"{r.degradation_steps_down}/{r.degradation_steps_up}",
+                "CLEAN" if r.clean else f"{len(r.violations)} VIOLATIONS",
+            ]
+        )
+    table = format_table(
+        [
+            "seed", "mode", "storms", "vip reads", "vip p99", "vip late",
+            "bulk late", "shed@replica", "shed@client", "steps v/^", "verdict",
+        ],
+        rows,
+        title="overload campaign (shed vs. unbounded)",
+    )
+    totals: dict[str, int] = {}
+    for r in results:
+        if r.mode != "shed":
+            continue
+        for key, value in r.recovery.items():
+            totals[key] = totals.get(key, 0) + value
+    merged = MetricsRegistry.merge(
+        *(r.metrics for r in results if r.mode == "shed" and r.metrics)
+    )
+    return (
+        table
+        + "\n\n"
+        + render_report(
+            metrics=merged, recovery=totals, title="shed-cell telemetry"
+        )
+    )
+
+
+def write_metrics_artifact(
+    path: str, results: list[OverloadCellResult], seeds: list[int]
+) -> None:
+    """JSONL artifact: one record per cell plus the pooled comparison."""
+    from repro.obs.export import write_jsonl
+
+    records: list[dict] = [
+        {"event": "meta", "experiment": "overload", "seeds": seeds}
+    ]
+    for r in results:
+        records.append(
+            {
+                "event": "cell",
+                "seed": r.seed,
+                "mode": r.mode,
+                "storms": r.storms,
+                "vip_p99": percentile(r.vip_latencies, 0.99),
+                "vip_timing_failures": r.vip_timing_failures,
+                "bulk_timing_failures": r.bulk_timing_failures,
+                "replica_reads_shed": r.replica_reads_shed,
+                "client_reads_shed": r.client_reads_shed,
+                "overload_replies": r.overload_replies,
+                "degradation_steps_down": r.degradation_steps_down,
+                "degradation_steps_up": r.degradation_steps_up,
+                "queue_depth_peaks": r.queue_depth_peaks,
+                "violations": r.violations,
+            }
+        )
+    for mode in ("shed", "unbounded"):
+        pooled = [
+            x for r in results if r.mode == mode for x in r.vip_latencies
+        ]
+        records.append(
+            {
+                "event": "pooled",
+                "mode": mode,
+                "vip_p99": percentile(pooled, 0.99),
+                "samples": len(pooled),
+            }
+        )
+    write_jsonl(path, records)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=5, help="campaigns per mode")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--duration", type=float, default=12.0)
+    parser.add_argument("--quick", action="store_true", help="2 seeds x 6s")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on any invariant or p99 violation",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--save", type=str, default=None)
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, help="write telemetry as JSONL"
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=str,
+        default=None,
+        help="dump the full trace of any violating cell here",
+    )
+    args = parser.parse_args(argv)
+
+    count = 2 if args.quick else args.seeds
+    duration = 6.0 if args.quick else args.duration
+    seeds = [seed_for(args.seed, "overload", i) for i in range(count)]
+    results = run_overload_suite(
+        seeds, duration=duration, jobs=args.jobs, trace_dir=args.trace_dir
+    )
+    print(summarize(results))
+
+    violations = suite_violations(results)
+    for line in violations:
+        print(f"VIOLATION {line}", file=sys.stderr)
+
+    if args.save:
+        save_results(
+            args.save,
+            [r.__dict__ for r in results],
+            meta={
+                "experiment": "overload",
+                "seeds": seeds,
+                "duration": duration,
+                "violations": violations,
+            },
+        )
+    if args.metrics_out:
+        write_metrics_artifact(args.metrics_out, results, seeds)
+        print(f"telemetry written to {args.metrics_out}")
+
+    if args.check and violations:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

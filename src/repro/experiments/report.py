@@ -40,6 +40,10 @@ RECOVERY_COUNTERS: tuple[tuple[str, str], ...] = (
     ("state_transfers_started", "primary rejoins that requested a snapshot"),
     ("state_transfers_completed", "snapshots installed by rejoining primaries"),
     ("state_transfers_served", "snapshots shipped by donor primaries"),
+    ("overload_replies", "reads bounced by a shedding replica"),
+    ("reads_shed", "reads the degradation ladder refused to dispatch"),
+    ("degradation_steps_down", "ladder transitions toward weaker consistency"),
+    ("degradation_steps_up", "hysteretic recoveries toward nominal"),
 )
 
 

@@ -75,6 +75,10 @@ class ChaosConfig:
     overload_weight: float = 2.0
     loss_weight: float = 1.0
     membership_outage_weight: float = 0.0
+    # Traffic bursts: requires a rate controller shared with the workload
+    # generators (see ChaosEngine's ``rate_controller``); default-off so
+    # existing campaigns keep their exact fault schedules.
+    load_storm_weight: float = 0.0
     max_concurrent_down: int = 2
     downtime: tuple[float, float] = (0.8, 3.0)
     partition_window: tuple[float, float] = (0.5, 2.0)
@@ -82,6 +86,8 @@ class ChaosConfig:
     overload_factor: tuple[float, float] = (2.0, 8.0)
     loss_window: tuple[float, float] = (0.5, 2.0)
     loss_probability: tuple[float, float] = (0.02, 0.15)
+    storm_window: tuple[float, float] = (1.0, 3.0)
+    storm_factor: tuple[float, float] = (3.0, 10.0)
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -91,12 +97,24 @@ class ChaosConfig:
         if self.max_concurrent_down < 1:
             raise ValueError("max_concurrent_down must be >= 1")
         for name in (
+            "crash_weight",
+            "partition_weight",
+            "overload_weight",
+            "loss_weight",
+            "membership_outage_weight",
+            "load_storm_weight",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in (
             "downtime",
             "partition_window",
             "overload_window",
             "overload_factor",
             "loss_window",
             "loss_probability",
+            "storm_window",
+            "storm_factor",
         ):
             low, high = getattr(self, name)
             if low <= 0 or high < low:
@@ -126,6 +144,7 @@ class ChaosEngine:
         repair: Optional[Callable[[str], None]] = None,
         trace: Trace = NULL_TRACE,
         metrics: Optional[MetricsRegistry] = None,
+        rate_controller: Optional[object] = None,
     ) -> None:
         self.network = network
         self.sim = network.sim
@@ -134,10 +153,14 @@ class ChaosEngine:
         self.rng = rng or random.Random(0)
         self.repair = repair
         self.trace = trace
+        # Duck-typed (begin_storm/end_storm) so the network layer does not
+        # import the workload generators; see ArrivalRateController.
+        self.rate_controller = rate_controller
         self.events: list[ChaosEvent] = []
         self._down: set[str] = set()
         self._partition_active = False
         self._loss_active = False
+        self._storm_active = False
         self._base_drop = network.drop_probability
         self._started_at: Optional[float] = None
         self._stopped = False
@@ -195,6 +218,8 @@ class ChaosEngine:
             self._heal_partition()
         if self._loss_active:
             self._end_loss()
+        if self._storm_active:
+            self._end_storm()
         for name in sorted(self._down):
             self._recover(name)
         self.trace.emit(
@@ -215,6 +240,8 @@ class ChaosEngine:
         ]
         if self.targets.membership is not None:
             choices.append(("membership", cfg.membership_outage_weight))
+        if self.rate_controller is not None:
+            choices.append(("load_storm", cfg.load_storm_weight))
         kinds = [k for k, w in choices if w > 0]
         weights = [w for _, w in choices if w > 0]
         if not kinds:
@@ -226,6 +253,7 @@ class ChaosEngine:
             "overload": self._inject_overload,
             "loss": self._inject_loss,
             "membership": self._inject_membership_outage,
+            "load_storm": self._inject_load_storm,
         }[kind]()
 
     def _record(self, event: ChaosEvent) -> None:
@@ -356,6 +384,30 @@ class ChaosEngine:
         self._loss_active = False
         self.network.drop_probability = self._base_drop
         self._record(ChaosEvent(self.sim.now, "loss-end", "network"))
+
+    def _inject_load_storm(self) -> bool:
+        if self.rate_controller is None or self._storm_active:
+            return False
+        factor = self.rng.uniform(*self.config.storm_factor)
+        window = self.rng.uniform(*self.config.storm_window)
+        self._storm_active = True
+        self.rate_controller.begin_storm(factor)
+        self.sim.schedule(window, self._end_storm)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "load-storm", "workload",
+                until=self.sim.now + window, detail={"factor": round(factor, 2)},
+            )
+        )
+        return True
+
+    def _end_storm(self) -> None:
+        if not self._storm_active:
+            return
+        self._storm_active = False
+        assert self.rate_controller is not None
+        self.rate_controller.end_storm()
+        self._record(ChaosEvent(self.sim.now, "storm-end", "workload"))
 
     def _inject_membership_outage(self) -> bool:
         name = self.targets.membership

@@ -20,6 +20,36 @@ from repro.sim.process import Process, Timeout
 from repro.sim.rng import RngRegistry
 
 
+class ArrivalRateController:
+    """A shared, mutable arrival-rate multiplier for the generators.
+
+    Generators that accept a ``rate_controller`` consult :attr:`factor`
+    before every inter-arrival gap, so a change takes effect on the next
+    request.  The chaos engine's ``load_storm`` fault raises the factor
+    for a bounded window to simulate a traffic burst (DESIGN.md §11);
+    anything else holding the same instance observes the storm too.
+    """
+
+    def __init__(self, factor: float = 1.0) -> None:
+        if factor <= 0:
+            raise ValueError(f"rate factor must be positive, got {factor!r}")
+        self.factor = factor
+        self.storms_started = 0
+
+    def begin_storm(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"storm factor must be positive, got {factor!r}")
+        self.factor = factor
+        self.storms_started += 1
+
+    def end_storm(self) -> None:
+        self.factor = 1.0
+
+    @property
+    def storming(self) -> bool:
+        return self.factor != 1.0
+
+
 class OpenLoopUpdater:
     """Issues update requests as a Poisson (or periodic) arrival process."""
 
@@ -33,6 +63,7 @@ class OpenLoopUpdater:
         method: str = "increment",
         args: Callable[[int], tuple] = lambda i: (),
         poisson: bool = True,
+        rate_controller: Optional[ArrivalRateController] = None,
     ) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate!r}")
@@ -45,15 +76,22 @@ class OpenLoopUpdater:
         self.method = method
         self.args = args
         self.poisson = poisson
+        self.rate_controller = rate_controller
         self.issued = 0
         self.outcomes: list[UpdateOutcome] = []
         self._rng = rng.stream(f"updater.{handler.name}")
         self.process = Process(sim, self._run(), name=f"updater-{handler.name}")
 
+    def _effective_rate(self) -> float:
+        if self.rate_controller is None:
+            return self.rate
+        return self.rate * self.rate_controller.factor
+
     def _gap(self) -> float:
+        rate = self._effective_rate()
         if self.poisson:
-            return self._rng.expovariate(self.rate)
-        return 1.0 / self.rate
+            return self._rng.expovariate(rate)
+        return 1.0 / rate
 
     def _run(self):
         deadline = self.sim.now + self.duration
@@ -132,7 +170,14 @@ class BurstyUpdater:
 
 
 class PeriodicReader:
-    """Issues reads on a fixed period, recording every outcome."""
+    """Issues reads on a fixed period, recording every outcome.
+
+    With a ``rate_controller``, the period shrinks by the controller's
+    current factor (a load storm makes the reader *faster*, not longer);
+    with ``duration`` set, the reader runs until that much simulated time
+    has elapsed instead of for a fixed count — the natural shape under
+    storms, where the arrival count is itself the variable under test.
+    """
 
     def __init__(
         self,
@@ -140,14 +185,20 @@ class PeriodicReader:
         handler: ClientHandler,
         qos: QoSSpec,
         period: float,
-        count: int,
+        count: int = 0,
         method: str = "get",
         args: Callable[[int], tuple] = lambda i: (),
+        rate_controller: Optional[ArrivalRateController] = None,
+        duration: Optional[float] = None,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period!r}")
         if count < 0:
             raise ValueError(f"negative read count {count!r}")
+        if duration is None and count == 0:
+            raise ValueError("need a positive count or a duration")
+        if duration is not None and duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
         self.sim = sim
         self.handler = handler
         self.qos = qos
@@ -155,13 +206,34 @@ class PeriodicReader:
         self.count = count
         self.method = method
         self.args = args
+        self.rate_controller = rate_controller
+        self.duration = duration
+        self.issued = 0
         self.outcomes: list[ReadOutcome] = []
         self.process = Process(sim, self._run(), name=f"reader-{handler.name}")
 
+    def _gap(self) -> float:
+        if self.rate_controller is None:
+            return self.period
+        return self.period / self.rate_controller.factor
+
+    def _issue(self, i: int) -> None:
+        self.handler.invoke(
+            self.method, self.args(i), self.qos, callback=self.outcomes.append
+        )
+        self.issued += 1
+
     def _run(self):
+        if self.duration is not None:
+            deadline = self.sim.now + self.duration
+            while True:
+                gap = self._gap()
+                if self.sim.now + gap > deadline:
+                    break
+                yield Timeout(gap)
+                self._issue(self.issued)
+            return self.issued
         for i in range(self.count):
-            yield Timeout(self.period)
-            self.handler.invoke(
-                self.method, self.args(i), self.qos, callback=self.outcomes.append
-            )
+            yield Timeout(self._gap())
+            self._issue(i)
         return self.count

@@ -232,3 +232,108 @@ def test_cost_qos_for():
     assert qos.staleness_threshold == 1
     assert qos.deadline == 0.3
     assert qos.min_probability == CostMapper().probability_for(2.0)
+
+
+# ---------------------------------------------------------------------------
+# AdmissionController — empty pool, churn, observed-demand reassessment
+# ---------------------------------------------------------------------------
+def test_evaluate_empty_pool_rejects_explicitly():
+    controller = AdmissionController()
+    profile = ClientProfile("c", QoSSpec(2, 0.1, 0.5), read_rate=1.0)
+    decision = controller.evaluate(profile, [], stale_factor=1.0, num_primaries=1)
+    assert not decision.admitted
+    assert "no serving replicas" in decision.reason
+    assert decision.achievable_probability == 0.0
+    assert math.isinf(decision.projected_utilization)
+
+
+def test_admit_release_churn_restores_baseline_utilization():
+    """Property: any admit/release churn that ends with every transient
+    client released leaves projected utilization exactly at baseline."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    probe = ClientProfile("probe", QoSSpec(2, 0.5, 0.5), read_rate=1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            min_size=0,
+            max_size=8,
+        ),
+        churn=st.integers(min_value=1, max_value=3),
+    )
+    def inner(rates, churn):
+        controller = AdmissionController()
+        baseline = controller.projected_utilization(
+            probe, serving_replicas=5, avg_replicas_per_read=2.0, num_primaries=1
+        )
+        for _ in range(churn):
+            for i, rate in enumerate(rates):
+                profile = ClientProfile(
+                    f"c{i}", QoSSpec(2, 0.5, 0.5), read_rate=rate
+                )
+                decision = controller.evaluate(
+                    profile, _views(5), 1.0, num_primaries=1
+                )
+                if decision.admitted:
+                    controller.admit(profile, decision)
+                    controller.observe_demand(f"c{i}", rate * 2.0)
+            for i in range(len(rates)):
+                controller.release(f"c{i}")
+        assert not controller.admitted
+        assert not controller.observed
+        after = controller.projected_utilization(
+            probe, serving_replicas=5, avg_replicas_per_read=2.0, num_primaries=1
+        )
+        assert after == pytest.approx(baseline)
+
+    inner()
+
+
+def test_observe_demand_validates_and_ignores_unknown_clients():
+    controller = AdmissionController()
+    with pytest.raises(ValueError):
+        controller.observe_demand("ghost", read_rate=-1.0)
+    controller.observe_demand("ghost", read_rate=5.0)  # not admitted: ignored
+    assert "ghost" not in controller.observed
+
+
+def test_effective_profile_substitutes_observed_rates():
+    controller = AdmissionController()
+    profile = ClientProfile("c", QoSSpec(2, 0.5, 0.5), read_rate=1.0)
+    decision = controller.evaluate(profile, _views(5), 1.0, num_primaries=1)
+    controller.admit(profile, decision)
+    assert controller.effective_profile("c").read_rate == 1.0
+    controller.observe_demand("c", read_rate=7.0, update_rate=0.5)
+    effective = controller.effective_profile("c")
+    assert effective.read_rate == 7.0
+    assert effective.update_rate == 0.5
+    assert effective.qos == profile.qos
+
+
+def test_reassess_flags_largest_observed_demand_first():
+    controller = AdmissionController(
+        AdmissionConfig(max_utilization=0.5, mean_read_service_time=0.1)
+    )
+    for name, declared in (("small", 1.0), ("big", 1.0)):
+        profile = ClientProfile(name, QoSSpec(2, 0.5, 0.5), read_rate=declared)
+        decision = controller.evaluate(profile, _views(5), 1.0, num_primaries=1)
+        controller.admit(profile, decision)
+    # Declared demand fits; observed demand from "big" does not.
+    assert controller.reassess(serving_replicas=5, num_primaries=1) == []
+    controller.observe_demand("big", read_rate=20.0)
+    flagged = controller.reassess(serving_replicas=5, num_primaries=1)
+    assert flagged == ["big"]
+    # The surviving set now fits again.
+    controller.release("big")
+    assert controller.reassess(serving_replicas=5, num_primaries=1) == []
+
+
+def test_reassess_with_no_serving_replicas_flags_everyone():
+    controller = AdmissionController()
+    profile = ClientProfile("c", QoSSpec(2, 0.5, 0.5), read_rate=0.1)
+    decision = controller.evaluate(profile, _views(5), 1.0, num_primaries=1)
+    controller.admit(profile, decision)
+    assert controller.reassess(serving_replicas=0, num_primaries=1) == ["c"]

@@ -94,6 +94,10 @@ def test_recovery_stats_shape():
         "retry_resolved",
         "hedge_resolved",
         "reads_salvaged",
+        "overload_replies",
+        "reads_shed",
+        "degradation_steps_down",
+        "degradation_steps_up",
     }
     assert all(v == 0 for v in stats.values())
 
@@ -260,3 +264,110 @@ def test_no_hedge_below_probability_bar():
     PeriodicReader(testbed.sim, client, relaxed, period=0.1, count=20)
     testbed.sim.run(until=8.0)
     assert client.hedges_sent == 0
+
+
+# ---------------------------------------------------------------------------
+# Retry x shedding (DESIGN.md §11)
+# ---------------------------------------------------------------------------
+def shedding_testbed(retry_policy, seed=21):
+    """A trace-enabled testbed whose replicas shed aggressively."""
+    from repro.core.overload import OverloadConfig
+    from repro.sim.tracing import Trace
+
+    config = ServiceConfig(
+        name="svc",
+        num_primaries=2,
+        num_secondaries=2,
+        lazy_update_interval=0.4,
+        read_service_time=Constant(0.010),
+        heartbeat_interval=0.1,
+        suspect_timeout=0.35,
+        gc_timeout=5.0,
+        overload=OverloadConfig(queue_capacity=2, shed_predicted=False),
+    )
+    testbed = build_testbed(
+        config,
+        seed=seed,
+        latency=FixedLatency(0.001),
+        trace=Trace(enabled=True),
+        membership_config=MembershipConfig(
+            heartbeat_interval=0.1, suspect_timeout=0.35, sweep_interval=0.1
+        ),
+    )
+    client = testbed.service.create_client(
+        "c", read_only_methods={"get"}, retry_policy=retry_policy
+    )
+    warm_up(testbed, client)
+    return testbed, client
+
+
+def flood(testbed, client, reads=80):
+    outcomes = []
+    for _ in range(reads):
+        client.invoke("get", (), QOS, callback=outcomes.append)
+    testbed.sim.run(until=12.0)
+    return outcomes
+
+
+def test_overload_reply_does_not_burn_retry_budget_immediately():
+    """A bounced read either re-dispatches to a replica that is NOT
+    backing us off, or sleeps until the earliest retry_after expiry — it
+    never instantly spends its whole retry budget hammering shedders."""
+    testbed, client = shedding_testbed(RetryPolicy(max_retries=1))
+    outcomes = flood(testbed, client)
+
+    assert client.overload_replies > 0
+    assert len(outcomes) == 80  # every flooded read was judged
+    # The retry budget bounds re-dispatches: at most one per read, even
+    # though far more OverloadReplies than reads arrived.
+    assert client.retries_sent <= 80
+    assert client.overload_replies > client.retries_sent
+
+
+def test_never_retries_a_shedding_replica_before_retry_after():
+    """Every retry dispatched after an OverloadReply from replica R lands
+    either on a different replica or after R's retry_after elapsed."""
+    testbed, client = shedding_testbed(RetryPolicy(max_retries=2))
+    flood(testbed, client)
+
+    backoff_until: dict[str, float] = {}
+    violations = []
+    for record in sorted(testbed.trace.records, key=lambda r: r.time):
+        if record.category == "client.overload-reply":
+            replica = record.detail["replica"]
+            until = record.time + record.detail["retry_after"]
+            backoff_until[replica] = max(backoff_until.get(replica, 0.0), until)
+        elif record.category == "client.retry":
+            target = record.detail["target"]
+            if record.time < backoff_until.get(target, 0.0) - 1e-12:
+                violations.append(
+                    (record.time, target, backoff_until[target])
+                )
+    assert client.retries_sent > 0  # the scenario actually exercised retries
+    assert not violations
+
+
+def test_backoff_retry_waits_out_the_shed_window():
+    """With every candidate backing off, the retry fires at the earliest
+    retry_after expiry — not immediately, and not never."""
+    from repro.baselines.strategies import RoundRobinSelection
+
+    testbed, _ = shedding_testbed(RetryPolicy(max_retries=2))
+    client = testbed.service.create_client(
+        "rr",
+        read_only_methods={"get"},
+        strategy=RoundRobinSelection(),
+        retry_policy=RetryPolicy(max_retries=2),
+    )
+    warm_up(testbed, client)
+    outcomes = []
+    for _ in range(40):
+        client.invoke("get", (), QOS, callback=outcomes.append)
+    testbed.sim.run(until=12.0)
+
+    assert client.overload_replies > 0
+    assert len(outcomes) == 40
+    # Single-replica selections that get bounced recover via the armed
+    # back-off retry; some reads resolve only because of it.
+    assert client.retries_sent > 0
+    assert sum(1 for o in outcomes if o.value is not None) > 0

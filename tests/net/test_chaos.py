@@ -220,3 +220,125 @@ def test_repair_callback_replaces_plain_recover():
     assert crashed  # something actually went down
     assert repaired == [e.target for e in engine.events if e.kind == "recover"]
     assert all(network.is_up(name) for name in network.endpoints())
+
+
+# ---------------------------------------------------------------------------
+# Load storms (DESIGN.md §11)
+# ---------------------------------------------------------------------------
+def storm_config(**overrides):
+    defaults = dict(
+        duration=10.0,
+        mean_interval=0.3,
+        crash_weight=0.0,
+        partition_weight=0.0,
+        overload_weight=0.0,
+        loss_weight=0.0,
+        load_storm_weight=1.0,
+        storm_window=(0.5, 1.0),
+        storm_factor=(2.0, 4.0),
+    )
+    defaults.update(overrides)
+    return ChaosConfig(**defaults)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"crash_weight": -1.0},
+        {"load_storm_weight": -0.5},
+        {"storm_window": (0.0, 1.0)},
+        {"storm_factor": (4.0, 2.0)},
+    ],
+)
+def test_chaos_config_rejects_bad_storm_values(kwargs):
+    with pytest.raises(ValueError):
+        ChaosConfig(**kwargs)
+
+
+def test_load_storm_drives_the_rate_controller():
+    from repro.workloads.generators import ArrivalRateController
+
+    sim, network = make_fabric()
+    controller = ArrivalRateController()
+    engine = ChaosEngine(
+        network,
+        ChaosTargets(primaries=PRIMARIES, secondaries=SECONDARIES),
+        storm_config(),
+        rng=random.Random(7),
+        rate_controller=controller,
+    )
+    engine.start()
+
+    peak = 0.0
+    while sim.now < 15.0 and sim.step():
+        peak = max(peak, controller.factor)
+
+    storms = [e for e in engine.events if e.kind == "load-storm"]
+    ends = [e for e in engine.events if e.kind == "storm-end"]
+    assert storms, "storm-only mix must inject storms"
+    assert len(ends) == len(storms)  # every storm healed
+    assert peak >= 2.0  # the configured factor floor
+    assert controller.factor == 1.0  # world healed after the campaign
+    assert controller.storms_started == len(storms)
+    for storm in storms:
+        assert 2.0 <= storm.detail["factor"] <= 4.0
+
+
+def test_one_storm_at_a_time():
+    from repro.workloads.generators import ArrivalRateController
+
+    sim, network = make_fabric()
+    controller = ArrivalRateController()
+    engine = ChaosEngine(
+        network,
+        ChaosTargets(primaries=PRIMARIES),
+        storm_config(mean_interval=0.05, storm_window=(2.0, 3.0)),
+        rng=random.Random(3),
+        rate_controller=controller,
+    )
+    engine.start()
+    sim.run(until=15.0)
+    opened = 0
+    for event in engine.events:
+        if event.kind == "load-storm":
+            assert opened == 0, "storms must never overlap"
+            opened += 1
+        elif event.kind == "storm-end":
+            opened -= 1
+    assert opened == 0
+
+
+def test_storms_skipped_without_rate_controller():
+    sim, network = make_fabric()
+    engine = ChaosEngine(
+        network,
+        ChaosTargets(primaries=PRIMARIES),
+        storm_config(),
+        rng=random.Random(7),
+    )
+    engine.start()
+    sim.run(until=15.0)
+    assert not engine.events  # storm is the only weighted fault
+    assert engine.faults_injected == 0
+
+
+def test_zero_storm_weight_keeps_existing_schedules():
+    """Adding the (default-off) storm fault must not perturb the RNG
+    schedule of pre-existing campaigns, controller attached or not."""
+    from repro.workloads.generators import ArrivalRateController
+
+    def schedule(controller):
+        sim, network = make_fabric()
+        engine = ChaosEngine(
+            network,
+            ChaosTargets(primaries=PRIMARIES, secondaries=SECONDARIES,
+                         sequencer="seq"),
+            ChaosConfig(duration=10.0, mean_interval=0.3),
+            rng=random.Random(11),
+            rate_controller=controller,
+        )
+        engine.start()
+        sim.run(until=15.0)
+        return [(e.time, e.kind, e.target) for e in engine.events]
+
+    assert schedule(None) == schedule(ArrivalRateController())

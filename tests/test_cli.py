@@ -43,8 +43,8 @@ def test_all_commands_registered():
         if isinstance(a, type(parser._subparsers._group_actions[0]))
     )
     assert set(sub.choices) == {
-        "figure3", "figure4", "ablations", "validation", "chaos", "metrics",
-        "info",
+        "figure3", "figure4", "ablations", "validation", "chaos", "overload",
+        "metrics", "info",
     }
 
 
