@@ -22,6 +22,9 @@ from repro.experiments.figure4 import (
     render,
     run_figure4,
 )
+from repro.experiments.runner import available_cpus, shutdown_pools
+from repro.experiments.speedup import measure_speedup
+from repro.experiments.speedup import render as render_speedup
 
 TOTAL_REQUESTS = 1000
 
@@ -80,3 +83,41 @@ def test_figure4_report(benchmark, report):
                 c.timing_failures for c in _results[(prob, 4.0)].series(prob, 4.0)
             )
             assert long >= short
+
+
+# ---------------------------------------------------------------------------
+# Warm-worker runner speedup: one row per jobs level
+# ---------------------------------------------------------------------------
+@pytest.mark.benchmark(group="figure4-runner-speedup")
+def test_quick_sweep_speedup_per_jobs_level(benchmark, report):
+    """Quick Figure 4 grid timed at jobs ∈ {1, 2, 4, cores}.
+
+    One row per jobs level with cells-per-second and the speedup over the
+    serial run, plus the usable-core count — a "0.94x parallel" row is
+    meaningless without knowing the box had one core.  The speedup gates
+    only apply where the hardware can deliver them; `measure_speedup`
+    itself asserts every level returns identical cells.
+    """
+    cores = available_cpus()
+    levels = sorted({1, 2, 4, cores})
+
+    try:
+        result = benchmark.pedantic(
+            lambda: measure_speedup(jobs_levels=levels),
+            rounds=1, iterations=1,
+        )
+    finally:
+        shutdown_pools()
+    report("")
+    report(render_speedup(result))
+
+    if cores >= 2:
+        row = result.row_for(2)
+        assert row is not None and row.speedup >= 1.2, (
+            f"--jobs 2 speedup {row and row.speedup:.2f}x < 1.2x on {cores} cores"
+        )
+    if cores >= 4:
+        row = result.row_for(4)
+        assert row is not None and row.speedup >= 2.5, (
+            f"--jobs 4 speedup {row and row.speedup:.2f}x < 2.5x on {cores} cores"
+        )

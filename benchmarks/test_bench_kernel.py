@@ -1,33 +1,22 @@
-"""Simulation-kernel and parallel-runner benchmarks (ISSUE 2).
+"""Simulation-kernel benchmarks (ISSUE 2).
 
-Two measurements:
+Event throughput of the kernel under a realistic schedule/cancel/run
+mix — the regime the tombstone compaction and event free list target
+(deadline timers that are nearly always cancelled before firing).
 
-* event throughput of the kernel under a realistic schedule/cancel/run
-  mix — the regime the tombstone compaction and event free list target
-  (deadline timers that are nearly always cancelled before firing);
-* wall-clock of the quick Figure 4 sweep, serial vs. fanned out over the
-  parallel experiment runner, appended to ``benchmarks/results.txt``.
+The runner-speedup measurement (quick Figure 4 sweep at several
+``--jobs`` levels) lives in ``test_bench_figure4.py``.
 
 Run: ``pytest benchmarks/test_bench_kernel.py --benchmark-only``
 """
 
 from __future__ import annotations
 
-import os
 import time
 
 import pytest
 
-from repro.experiments.figure4 import run_figure4
-from repro.experiments.report import format_table
 from repro.sim.kernel import Simulator
-
-QUICK_SWEEP = dict(
-    deadlines_ms=(100, 160, 220),
-    probabilities=(0.9, 0.5),
-    lazy_intervals=(2.0, 4.0),
-    total_requests=200,
-)
 
 
 def _timed_pedantic(benchmark, fn, *, args=(), rounds=1):
@@ -96,36 +85,3 @@ def test_kernel_fire_throughput(benchmark, report):
     _, mean_s = _timed_pedantic(benchmark, _fire_all, args=(events,), rounds=3)
     per_sec = events / mean_s
     report(f"kernel schedule+fire: {per_sec:,.0f} events/s")
-
-
-# ---------------------------------------------------------------------------
-# Serial vs parallel sweep wall-clock
-# ---------------------------------------------------------------------------
-@pytest.mark.benchmark(group="kernel-parallel-sweep")
-def test_quick_sweep_serial_vs_parallel(benchmark, report):
-    """Quick Figure 4 grid, --jobs 1 vs --jobs <cores>: same cells, the
-    wall-clock ratio is the runner's speedup on this machine."""
-    jobs = min(4, os.cpu_count() or 1)
-
-    t0 = time.perf_counter()
-    serial = run_figure4(jobs=1, **QUICK_SWEEP)
-    serial_s = time.perf_counter() - t0
-
-    def parallel_sweep():
-        return run_figure4(jobs=jobs, **QUICK_SWEEP)
-
-    parallel, parallel_s = _timed_pedantic(benchmark, parallel_sweep)
-
-    assert serial.cells == parallel.cells  # identical results, any jobs value
-    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    report("")
-    report(
-        format_table(
-            ["cells", "jobs", "serial_s", "parallel_s", "speedup"],
-            [(len(serial.cells), jobs, f"{serial_s:.2f}",
-              f"{parallel_s:.2f}", f"{speedup:.2f}x")],
-            title="Quick Figure 4 sweep — serial vs parallel runner",
-        )
-    )
-    if jobs >= 4:
-        assert speedup >= 2.5, f"expected >=2.5x on {jobs} workers, got {speedup:.2f}x"

@@ -9,6 +9,7 @@ Commands:
 * ``chaos`` — seeded fault campaigns audited by consistency invariants;
 * ``overload`` — load-storm campaigns: shedding vs. unbounded queues;
 * ``metrics`` — one instrumented cell: telemetry + calibration report;
+* ``speedup`` — warm-worker runner throughput at several ``--jobs`` levels;
 * ``info`` — reproduction summary and module inventory.
 
 ``--quick`` runs reduced sweeps everywhere it is meaningful.
@@ -126,6 +127,23 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.check:
         argv.append("--check")
     return telemetry.main(argv)
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from repro.experiments import speedup
+
+    argv = []
+    if args.jobs_levels:
+        argv += ["--jobs-levels", args.jobs_levels]
+    if args.out:
+        argv += ["--out", args.out]
+    if args.check:
+        argv.append("--check")
+    if args.min_speedup is not None:
+        argv += ["--min-speedup", str(args.min_speedup)]
+    if args.check_jobs is not None:
+        argv += ["--check-jobs", str(args.check_jobs)]
+    return speedup.main(argv)
 
 
 def _cmd_info(args: argparse.Namespace) -> None:
@@ -261,6 +279,31 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--prometheus", metavar="PATH")
     pm.add_argument("--check", action="store_true")
     pm.set_defaults(func=_cmd_metrics)
+
+    ps = sub.add_parser(
+        "speedup", help="warm-worker runner throughput per --jobs level"
+    )
+    ps.add_argument(
+        "--jobs-levels",
+        metavar="N,M,...",
+        default=None,
+        help="comma-separated jobs levels to time (default 1,2,4)",
+    )
+    ps.add_argument("--out", metavar="PATH", help="write the timing table")
+    ps.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if parallel speedup regresses (multi-core only)",
+    )
+    ps.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="required speedup for the gated jobs level (default 1.2)",
+    )
+    ps.add_argument(
+        "--check-jobs", type=int, default=None, metavar="N",
+        help="jobs level the gate applies to (default 2)",
+    )
+    ps.set_defaults(func=_cmd_speedup)
 
     pi = sub.add_parser("info", help="reproduction summary")
     pi.set_defaults(func=_cmd_info)

@@ -634,33 +634,43 @@ class ClientHandler(GroupEndpoint):
             )
 
     def _candidates(self, qos: QoSSpec) -> list[ReplicaView]:
-        """Build the ``V`` tuples of Algorithm 1 from the repository."""
+        """Build the ``V`` tuples of Algorithm 1 from the repository.
+
+        Goes through the predictor's fused :meth:`~repro.core.prediction
+        .ResponseTimePredictor.candidate_cdfs` — one call for the whole
+        candidate set instead of one method per replica.  ``ert`` reads
+        repository state the predictor never writes, so splitting the loop
+        in two leaves every value (and every counter) unchanged.
+        """
         primary_view = self.view_of(self.groups.primary)
         secondary_view = self.view_of(self.groups.secondary)
         sequencer = primary_view.leader if self.has_sequencer else None
+        primaries = [m for m in primary_view.members if m != sequencer]
+        secondaries = list(secondary_view.members)
+        primary_cdfs, secondary_pairs = self.predictor.candidate_cdfs(
+            primaries, secondaries, qos.deadline
+        )
+        ert = self.repository.ert
+        now = self.now
         views: list[ReplicaView] = []
-        for member in primary_view.members:
-            if member == sequencer:
-                continue  # the sequencer never services requests (§4.1)
-            cdf = self.predictor.immediate_cdf(member, qos.deadline)
+        for member, cdf in zip(primaries, primary_cdfs):
             views.append(
                 ReplicaView(
                     name=member,
                     is_primary=True,
                     immediate_cdf=cdf,
                     delayed_cdf=cdf,  # unused for primaries (§5.3)
-                    ert=self.repository.ert(member, self.now),
+                    ert=ert(member, now),
                 )
             )
-        for member in secondary_view.members:
-            immediate, delayed = self.predictor.response_cdfs(member, qos.deadline)
+        for member, (immediate, delayed) in zip(secondaries, secondary_pairs):
             views.append(
                 ReplicaView(
                     name=member,
                     is_primary=False,
                     immediate_cdf=immediate,
                     delayed_cdf=delayed,
-                    ert=self.repository.ert(member, self.now),
+                    ert=ert(member, now),
                 )
             )
         return views

@@ -77,21 +77,21 @@ def lui_sweep(
 ) -> list[AblationRow]:
     """Longer LUI ⇒ staler secondaries ⇒ more deferred reads and more
     replicas needed (§6.1's second observation, extended)."""
+    common = dict(
+        deadline=deadline,
+        min_probability=min_probability,
+        total_requests=total_requests,
+        seed=seed,
+    )
     specs = [
         CellSpec(
             key=f"LUI={lui:g}s",
             fn=run_figure4_cell,
-            kwargs=dict(
-                deadline=deadline,
-                min_probability=min_probability,
-                lazy_update_interval=lui,
-                total_requests=total_requests,
-                seed=seed,
-            ),
+            kwargs=dict(lazy_update_interval=lui),
         )
         for lui in luis
     ]
-    cells = run_cells(specs, jobs=jobs, label="A1-lui")
+    cells = run_cells(specs, jobs=jobs, label="A1-lui", common=common)
     return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
@@ -108,22 +108,22 @@ def request_delay_sweep(
 ) -> list[AblationRow]:
     """Shorter request delay ⇒ higher update arrival rate λ_u ⇒ staler
     secondaries between lazy updates ⇒ more deferrals."""
+    common = dict(
+        deadline=deadline,
+        min_probability=min_probability,
+        lazy_update_interval=2.0,
+        total_requests=total_requests,
+        seed=seed,
+    )
     specs = [
         CellSpec(
             key=f"request_delay={delay:g}s",
             fn=run_figure4_cell,
-            kwargs=dict(
-                deadline=deadline,
-                min_probability=min_probability,
-                lazy_update_interval=2.0,
-                total_requests=total_requests,
-                seed=seed,
-                request_delay=delay,
-            ),
+            kwargs=dict(request_delay=delay),
         )
         for delay in delays
     ]
-    cells = run_cells(specs, jobs=jobs, label="A2-delay")
+    cells = run_cells(specs, jobs=jobs, label="A2-delay", common=common)
     return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
@@ -170,21 +170,21 @@ def window_sweep(
     """Window size trades prediction freshness against noise (§5.2: chosen
     "to include a reasonable number of recently measured values, while
     eliminating obsolete measurements")."""
+    common = dict(
+        deadline=deadline,
+        min_probability=min_probability,
+        total_requests=total_requests,
+        seed=seed,
+    )
     specs = [
         CellSpec(
             key=f"window={window}",
             fn=_window_cell,
-            kwargs=dict(
-                window=window,
-                deadline=deadline,
-                min_probability=min_probability,
-                total_requests=total_requests,
-                seed=seed,
-            ),
+            kwargs=dict(window=window),
         )
         for window in windows
     ]
-    return run_cells(specs, jobs=jobs, label="A3-window")
+    return run_cells(specs, jobs=jobs, label="A3-window", common=common)
 
 
 # ---------------------------------------------------------------------------
@@ -203,22 +203,22 @@ def staleness_sweep(
     smaller than the lazy update interval, fewer replicas are available to
     respond immediately" — relaxing the threshold should monotonically cut
     deferrals and timing failures."""
+    common = dict(
+        deadline=deadline,
+        min_probability=min_probability,
+        lazy_update_interval=lazy_update_interval,
+        total_requests=total_requests,
+        seed=seed,
+    )
     specs = [
         CellSpec(
             key=f"a={threshold}",
             fn=run_figure4_cell,
-            kwargs=dict(
-                deadline=deadline,
-                min_probability=min_probability,
-                lazy_update_interval=lazy_update_interval,
-                total_requests=total_requests,
-                seed=seed,
-                staleness_threshold=threshold,
-            ),
+            kwargs=dict(staleness_threshold=threshold),
         )
         for threshold in thresholds
     ]
-    cells = run_cells(specs, jobs=jobs, label="A4-staleness")
+    cells = run_cells(specs, jobs=jobs, label="A4-staleness", common=common)
     return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
@@ -246,22 +246,22 @@ def baseline_comparison(
 ) -> list[AblationRow]:
     """Algorithm 1 should match all-replicas' failure rate at a fraction of
     its replica usage, and beat the single-replica policies on failures."""
+    common = dict(
+        deadline=deadline,
+        min_probability=min_probability,
+        lazy_update_interval=lazy_update_interval,
+        total_requests=total_requests,
+        seed=seed,
+    )
     specs = [
         CellSpec(
             key=label,
             fn=run_figure4_cell,
-            kwargs=dict(
-                deadline=deadline,
-                min_probability=min_probability,
-                lazy_update_interval=lazy_update_interval,
-                total_requests=total_requests,
-                seed=seed,
-                strategy2=factory(),
-            ),
+            kwargs=dict(strategy2=factory()),
         )
         for label, factory in baseline_strategies().items()
     ]
-    cells = run_cells(specs, jobs=jobs, label="A5-baselines")
+    cells = run_cells(specs, jobs=jobs, label="A5-baselines", common=common)
     return [_row(spec.key, cell) for spec, cell in zip(specs, cells)]
 
 
@@ -626,15 +626,14 @@ def main(argv: Optional[list[str]] = None) -> None:
     ))
     print()
     crash_specs = [
-        CellSpec(
-            key=crash,
-            fn=failover_study,
-            kwargs=dict(crash=crash, total_requests=100 if quick else 300),
-        )
+        CellSpec(key=crash, fn=failover_study, kwargs=dict(crash=crash))
         for crash in ("sequencer", "publisher", "secondary")
     ]
+    crash_common = dict(total_requests=100 if quick else 300)
     rows = []
-    for res in run_cells(crash_specs, jobs=jobs, label="A6-failover"):
+    for res in run_cells(
+        crash_specs, jobs=jobs, label="A6-failover", common=crash_common
+    ):
         rows.append(
             (
                 res.label,

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.selection import SelectionStrategy
-from repro.experiments.harness import Figure4Cell, run_figure4_cell
+from repro.experiments.harness import (
+    Figure4Cell,
+    pack_figure4_cell,
+    run_figure4_cell,
+    unpack_figure4_cell,
+)
 from repro.experiments.report import format_series, format_table
 from repro.experiments.runner import CellSpec, add_jobs_argument, run_cells
 
@@ -84,13 +89,24 @@ def run_figure4(
     jobs: Optional[int] = 1,
     progress: bool = False,
     collect_metrics: bool = False,
+    chunk_size: Optional[int] = None,
 ) -> Figure4Result:
     """Run the full sweep, optionally fanned out over ``jobs`` processes.
 
     Every cell is an independent simulation seeded from ``seed`` alone,
     so the grid parallelizes freely; ``jobs=1`` preserves the historical
-    serial loop bit for bit.
+    serial loop bit for bit, and the chunked parallel path is pinned to
+    it by property tests.  The sweep-wide kwargs travel once per worker
+    (``common=``), each spec carries only its grid coordinates, and
+    telemetry-bearing cells return through the compact snapshot codec.
     """
+    common = dict(
+        total_requests=total_requests,
+        seed=seed,
+        staleness_threshold=staleness_threshold,
+        strategy2=strategy2,
+        collect_metrics=collect_metrics,
+    )
     specs = [
         CellSpec(
             key=(probability, lui, deadline_ms),
@@ -99,18 +115,22 @@ def run_figure4(
                 deadline=deadline_ms / 1000.0,
                 min_probability=probability,
                 lazy_update_interval=lui,
-                total_requests=total_requests,
-                seed=seed,
-                staleness_threshold=staleness_threshold,
-                strategy2=strategy2,
-                collect_metrics=collect_metrics,
             ),
         )
         for probability in probabilities
         for lui in lazy_intervals
         for deadline_ms in deadlines_ms
     ]
-    cells = run_cells(specs, jobs=jobs, progress=progress, label="figure4")
+    cells = run_cells(
+        specs,
+        jobs=jobs,
+        progress=progress,
+        label="figure4",
+        chunk_size=chunk_size,
+        common=common,
+        encode=pack_figure4_cell,
+        decode=unpack_figure4_cell,
+    )
     result = Figure4Result()
     for spec, cell in zip(specs, cells):
         result.cells[spec.key] = cell

@@ -15,6 +15,7 @@ Two kinds of measurement, matching the paper's §6:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass
@@ -26,7 +27,7 @@ from repro.core.repository import ClientInfoRepository
 from repro.core.requests import PerfBroadcast, StalenessInfo
 from repro.core.selection import ReplicaView, SelectionStrategy, StateBasedSelection
 from repro.obs.calibration import CalibrationTracker
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, decode_snapshot, encode_snapshot
 from repro.sim.rng import RngRegistry
 from repro.stats.confidence import binomial_confidence_interval
 from repro.workloads.scenarios import build_paper_scenario
@@ -210,6 +211,27 @@ class Figure4Cell:
     def meets_qos(self) -> bool:
         """Did the observed failure probability stay within 1 − P_c?"""
         return self.timing_failure_probability <= 1.0 - self.min_probability + 1e-9
+
+
+def pack_figure4_cell(cell: Figure4Cell) -> Figure4Cell:
+    """Worker-side ``encode`` hook for the parallel runner.
+
+    The only bulky field of a cell is its metrics snapshot (hundreds of
+    nested dict/list objects when ``collect_metrics=True``); packing it
+    into the flat :func:`repro.obs.metrics.encode_snapshot` payload lets
+    the cell cross the process boundary as a handful of bytes objects
+    instead.  Cells without telemetry pass through untouched.
+    """
+    if cell.metrics is None:
+        return cell
+    return dataclasses.replace(cell, metrics=encode_snapshot(cell.metrics))
+
+
+def unpack_figure4_cell(cell: Figure4Cell) -> Figure4Cell:
+    """Parent-side ``decode`` hook — exact inverse of :func:`pack_figure4_cell`."""
+    if not isinstance(cell.metrics, bytes):
+        return cell
+    return dataclasses.replace(cell, metrics=decode_snapshot(cell.metrics))
 
 
 def run_figure4_cell(

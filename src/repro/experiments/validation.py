@@ -207,15 +207,14 @@ def run_hotspot_validation(
     jobs: Optional[int] = 1,
 ) -> HotspotValidationResult:
     """Same workload twice: Algorithm 1 vs. the cdf-greedy variant."""
+    common = dict(reads=reads, deadline=deadline, seed=seed)
     specs = [
-        CellSpec(
-            key=avoid,
-            fn=_hotspot_cell,
-            kwargs=dict(avoid=avoid, reads=reads, deadline=deadline, seed=seed),
-        )
+        CellSpec(key=avoid, fn=_hotspot_cell, kwargs=dict(avoid=avoid))
         for avoid in (True, False)
     ]
-    with_ert, without_ert = run_cells(specs, jobs=jobs, label="hotspot")
+    with_ert, without_ert = run_cells(
+        specs, jobs=jobs, label="hotspot", common=common
+    )
     return HotspotValidationResult(
         with_ert_reads=with_ert, without_ert_reads=without_ert
     )
@@ -250,17 +249,20 @@ def main(argv: Optional[list[str]] = None) -> None:
 
     studies = [
         ("Staleness model calibration — Poisson arrivals, Poisson model (Eq. 4)",
-         dict(duration=duration, bursty=False, model=None)),
+         dict(bursty=False, model=None)),
         ("Staleness model calibration — bursty arrivals, Poisson model",
-         dict(duration=duration, bursty=True, model=None)),
+         dict(bursty=True, model=None)),
         ("Staleness model calibration — bursty arrivals, rate-mixture model",
-         dict(duration=duration, bursty=True, model="rate-mixture")),
+         dict(bursty=True, model="rate-mixture")),
     ]
     specs = [
         CellSpec(key=title, fn=_staleness_cell, kwargs=kwargs)
         for title, kwargs in studies
     ]
-    for spec, rows in zip(specs, run_cells(specs, jobs=jobs, label="staleness")):
+    runs = run_cells(
+        specs, jobs=jobs, label="staleness", common=dict(duration=duration)
+    )
+    for spec, rows in zip(specs, runs):
         print(render_staleness(spec.key, rows))
         print()
     hotspot = run_hotspot_validation(reads=150 if quick else 300, jobs=jobs)

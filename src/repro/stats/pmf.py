@@ -15,6 +15,7 @@ overhead measurement depends on.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -28,7 +29,7 @@ class DiscretePmf:
     Instances are immutable in practice: all operations return new pmfs.
     """
 
-    __slots__ = ("quantum", "offset", "mass", "_cum")
+    __slots__ = ("quantum", "offset", "mass", "_cum", "_pad")
 
     def __init__(self, quantum: float, offset: int, mass: np.ndarray) -> None:
         if quantum <= 0:
@@ -47,6 +48,7 @@ class DiscretePmf:
         self.offset = int(offset)
         self.mass = np.clip(mass, 0.0, None) / total
         self._cum: Optional[np.ndarray] = None
+        self._pad: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,12 +132,27 @@ class DiscretePmf:
             self._cum = cum
         return cum
 
+    def _padded_cumulative(self) -> np.ndarray:
+        """Cumulative mass with a leading 0.0, cached like :attr:`_cum`.
+
+        The pad turns a :meth:`cdf_many` gather into one fancy index with
+        no branch for the "before the support" bucket; caching it keeps
+        repeated batched evaluations (the selection hot loop) from
+        re-allocating the array per call.
+        """
+        padded = self._pad
+        if padded is None:
+            padded = np.concatenate(([0.0], self._cumulative()))
+            self._pad = padded
+        return padded
+
     def cdf(self, x: float) -> float:
         """P(X <= x): total mass of grid values <= x (float-error tolerant)."""
         if x < self.support_min:
             return 0.0
-        bin_index = int(np.floor(x / self.quantum + 1e-9))
-        upto = bin_index - self.offset + 1
+        # math.floor == np.floor for every finite float, without the numpy
+        # scalar round-trip — this is the hottest line of the predictor.
+        upto = math.floor(x / self.quantum + 1e-9) - self.offset + 1
         if upto <= 0:
             return 0.0
         if upto >= self.mass.size:
@@ -153,8 +170,7 @@ class DiscretePmf:
         xs = np.asarray(list(xs) if not isinstance(xs, np.ndarray) else xs, dtype=float)
         bins = np.floor(xs / self.quantum + 1e-9).astype(int)
         upto = np.clip(bins - self.offset + 1, 0, self.mass.size)
-        padded = np.concatenate(([0.0], self._cumulative()))
-        out = padded[upto]
+        out = self._padded_cumulative()[upto]
         out[upto == self.mass.size] = 1.0
         out[xs < self.support_min] = 0.0
         return out
