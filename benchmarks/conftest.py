@@ -1,18 +1,42 @@
-"""Shared benchmark fixtures."""
+"""Shared benchmark fixtures.
+
+Two artifact channels per bench session:
+
+* ``results.txt`` — the human-readable tables every bench prints, stamped
+  with the bench environment (usable cores) so numbers stay comparable
+  across machines;
+* ``BENCH_<name>.json`` — one flat metric-name → value JSON per bench
+  module (``test_bench_kernel.py`` → ``BENCH_kernel.json``), written at
+  session end and uploaded by CI so the perf trajectory is machine-
+  trackable instead of living only in a text table.
+"""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.experiments.runner import available_cpus
+
 RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+#: Session accumulator for the JSON artifacts: bench name -> {metric: value}.
+_RECORDS: dict[str, dict[str, float]] = {}
+
+
+def _bench_name(request: pytest.FixtureRequest) -> str:
+    module = request.node.module.__name__.rsplit(".", 1)[-1]
+    return module.removeprefix("test_bench_") or module
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results_file():
-    """Start each bench session with an empty results transcript."""
-    RESULTS_FILE.write_text("")
+    """Start each bench session with an empty, env-stamped transcript."""
+    RESULTS_FILE.write_text(
+        f"# bench environment: usable_cores={available_cpus()}\n"
+    )
     yield
 
 
@@ -32,3 +56,25 @@ def report(capfd):
             sink.write(text + "\n")
 
     return _report
+
+
+@pytest.fixture
+def record(request):
+    """Accumulate one named metric for this module's ``BENCH_<name>.json``.
+
+    Values are coerced to float; recording the same metric twice keeps
+    the last value (a re-run within the session supersedes).
+    """
+    sink = _RECORDS.setdefault(_bench_name(request), {})
+
+    def _record(metric: str, value: float) -> None:
+        sink[str(metric)] = float(value)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    directory = Path(__file__).parent
+    for name, metrics in sorted(_RECORDS.items()):
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")

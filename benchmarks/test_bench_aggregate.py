@@ -1,0 +1,58 @@
+"""Aggregated client tier bench: arrivals/s at population scale.
+
+Measures the fluid tier's wall-clock throughput on a 1M-user cell and the
+speedup over the discrete per-request simulator (extrapolated from a
+small calibration run — simulating a million discrete clients directly is
+exactly what the tier exists to avoid).
+
+Run: ``pytest benchmarks/test_bench_aggregate.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.scale import run_scale_cell
+
+
+@pytest.mark.benchmark(group="aggregate-tier")
+def test_aggregate_million_user_cell(benchmark, report, record):
+    """One 1M-user cell, 30 simulated seconds: wall budget + speedup."""
+
+    def cell():
+        return run_scale_cell(
+            users=1_000_000, duration=30.0, warmup=5.0, mode="aggregate",
+        )
+
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(cell, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - t0
+    wall = result.wall_seconds if result.wall_seconds > 0 else elapsed
+
+    reference = run_scale_cell(
+        users=500, duration=15.0, warmup=5.0, mode="discrete",
+    )
+    per_request = (
+        reference.wall_seconds / reference.arrivals if reference.arrivals else 0.0
+    )
+    speedup = (per_request * result.arrivals / wall) if wall > 0 else 0.0
+
+    report("")
+    report(
+        f"aggregate 1M-user cell: {result.arrivals:,} reads in {wall:.2f}s "
+        f"wall ({result.arrivals_per_wall_second:,.0f} reads/s), "
+        f"{speedup:,.0f}x vs discrete extrapolation "
+        f"({1e3 * per_request:.2f} ms/request over "
+        f"{reference.arrivals} calibration requests)"
+    )
+    record("million_user_reads", result.arrivals)
+    record("million_user_wall_seconds", wall)
+    record("million_user_reads_per_wall_second", result.arrivals_per_wall_second)
+    record("speedup_vs_discrete", speedup)
+
+    # The acceptance bar from the issue: >= 100x over discrete.
+    assert speedup >= 100.0, f"speedup {speedup:.0f}x < 100x"
+    # The tier resolved arrivals through the model, not just probes.
+    assert result.sample_reads > 0.9 * result.arrivals

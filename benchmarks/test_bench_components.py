@@ -130,7 +130,7 @@ def test_prediction_pass_cached_steady_state(benchmark):
     assert predictor.cache_invalidations == 0
 
 
-def test_prediction_cache_speedup_threshold(report):
+def test_prediction_cache_speedup_threshold(report, record):
     """Acceptance: ≥3x on steady-state reads, no regression under churn."""
     import time
 
@@ -150,6 +150,9 @@ def test_prediction_cache_speedup_threshold(report):
         f"prediction cache steady-state: uncached {1e6 * cold / 300:.1f} us/pass, "
         f"cached {1e6 * warm / 300:.1f} us/pass, speedup {speedup:.1f}x"
     )
+    record("prediction_uncached_us_per_pass", 1e6 * cold / 300)
+    record("prediction_cached_us_per_pass", 1e6 * warm / 300)
+    record("prediction_cache_speedup", speedup)
     assert speedup >= 3.0, f"expected >=3x steady-state speedup, got {speedup:.2f}x"
     assert cached.cache_hits > 0 and cached.cache_invalidations == 0
 

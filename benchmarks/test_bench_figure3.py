@@ -40,11 +40,13 @@ def test_selection_overhead_point(benchmark, num_replicas, window_size):
     assert result.total_us > 0
 
 
-def test_figure3_table(benchmark, report):
+def test_figure3_table(benchmark, report, record):
     """The whole Figure 3 sweep, printed, with shape assertions."""
     result = benchmark.pedantic(run_figure3, kwargs=dict(repetitions=200), rounds=1)
     report("")
     report(render(result))
+    for (window, replicas), point in sorted(result.points.items()):
+        record(f"selection_total_us_n{replicas}_l{window}", point.total_us)
     # Reproduction targets (shape, not absolute numbers — see DESIGN.md):
     assert result.is_monotone_in_replicas(10)
     assert result.is_monotone_in_replicas(20)
@@ -55,7 +57,7 @@ def test_figure3_table(benchmark, report):
     assert all(p.cache_hits == 0 for p in result.points.values())
 
 
-def test_figure3_cached_comparison_table(benchmark, report):
+def test_figure3_cached_comparison_table(benchmark, report, record):
     """Steady-state cached reads vs fresh recomputation, with acceptance
     thresholds: ≥3x steady-state speedup, no churn regression."""
     points = benchmark.pedantic(
@@ -63,6 +65,8 @@ def test_figure3_cached_comparison_table(benchmark, report):
     )
     report("")
     report(render_cache_comparison(points))
+    for n, point in points.items():
+        record(f"cache_steady_speedup_n{n}", point.steady_speedup)
     for n, point in points.items():
         assert point.steady_speedup >= 3.0, (
             f"{n} replicas: steady-state speedup {point.steady_speedup:.2f}x < 3x"

@@ -57,7 +57,7 @@ def test_figure4_configuration(benchmark, min_probability, lui):
 
 
 @pytest.mark.benchmark(group="figure4-adaptivity")
-def test_figure4_report(benchmark, report):
+def test_figure4_report(benchmark, report, record):
     """Merge the per-configuration sweeps and print both panels.
 
     Carries a (trivial) benchmark so ``--benchmark-only`` runs do not
@@ -71,6 +71,9 @@ def test_figure4_report(benchmark, report):
         merged.cells.update(result.cells)
     report("")
     report(render(merged))
+    for (prob, lui), result in sorted(_results.items()):
+        failures = sum(c.timing_failures for c in result.series(prob, lui))
+        record(f"failures_pc{prob}_lui{lui:g}", failures)
     # Cross-configuration observation (§6.1): with the longer LUI the
     # replicas are staler, so (summed over the sweep) timing failures are
     # at least as frequent as with the shorter LUI.
@@ -89,7 +92,7 @@ def test_figure4_report(benchmark, report):
 # Warm-worker runner speedup: one row per jobs level
 # ---------------------------------------------------------------------------
 @pytest.mark.benchmark(group="figure4-runner-speedup")
-def test_quick_sweep_speedup_per_jobs_level(benchmark, report):
+def test_quick_sweep_speedup_per_jobs_level(benchmark, report, record):
     """Quick Figure 4 grid timed at jobs ∈ {1, 2, 4, cores}.
 
     One row per jobs level with cells-per-second and the speedup over the
@@ -110,6 +113,9 @@ def test_quick_sweep_speedup_per_jobs_level(benchmark, report):
         shutdown_pools()
     report("")
     report(render_speedup(result))
+    record("usable_cores", cores)
+    for row in result.rows:
+        record(f"cells_per_second_jobs{row.jobs}", row.cells_per_second)
 
     if cores >= 2:
         row = result.row_for(2)

@@ -57,7 +57,7 @@ def _per_op_s(fn, ops: int = OPS) -> float:
 
 
 @pytest.mark.benchmark(group="obs-overhead")
-def test_disabled_instruments_vanish_against_kernel_events(benchmark, report):
+def test_disabled_instruments_vanish_against_kernel_events(benchmark, report, record):
     per_event = _kernel_per_event_s()
 
     noop_counter = NULL_METRICS.counter("bench_counter")
@@ -78,6 +78,9 @@ def test_disabled_instruments_vanish_against_kernel_events(benchmark, report):
         (name, f"{1e9 * cost:.1f}", f"{100 * cost / per_event:.2f}%")
         for name, cost in costs.items()
     ]
+    record("kernel_ns_per_event", 1e9 * per_event)
+    for name, cost in costs.items():
+        record(name.replace(" ", "_").replace(".", "_") + "_ns", 1e9 * cost)
     report("")
     report(
         format_table(
@@ -100,7 +103,7 @@ def test_disabled_instruments_vanish_against_kernel_events(benchmark, report):
 
 
 @pytest.mark.benchmark(group="obs-overhead")
-def test_span_emission_disabled_is_one_attribute_check(benchmark, report):
+def test_span_emission_disabled_is_one_attribute_check(benchmark, report, record):
     """Instrumented code guards span construction on ``trace.enabled``, so
     the disabled cost is the guard itself — far below one kernel event."""
     from repro.sim.tracing import NULL_TRACE
@@ -118,4 +121,5 @@ def test_span_emission_disabled_is_one_attribute_check(benchmark, report):
         f"disabled span guard: {1e9 * cost:.1f} ns/op "
         f"({100 * ratio:.2f}% of one kernel event)"
     )
+    record("disabled_span_guard_ns", 1e9 * cost)
     assert ratio < 0.03

@@ -10,6 +10,8 @@ Commands:
 * ``overload`` — load-storm campaigns: shedding vs. unbounded queues;
 * ``metrics`` — one instrumented cell: telemetry + calibration report;
 * ``speedup`` — warm-worker runner throughput at several ``--jobs`` levels;
+* ``scale`` — million-user cells via the aggregated (fluid) client tier,
+  with ``--validate`` checking it against the discrete simulator;
 * ``info`` — reproduction summary and module inventory.
 
 ``--quick`` runs reduced sweeps everywhere it is meaningful.
@@ -146,6 +148,27 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     return speedup.main(argv)
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.experiments import scale
+
+    argv = []
+    if args.validate:
+        argv.append("--validate")
+    if args.smoke:
+        argv.append("--smoke")
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    if args.users:
+        argv += ["--users", args.users]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.save:
+        argv += ["--save", args.save]
+    return scale.main(argv + _jobs_argv(args))
+
+
 def _cmd_info(args: argparse.Namespace) -> None:
     import repro
 
@@ -163,7 +186,8 @@ def _cmd_info(args: argparse.Namespace) -> None:
                        "causal handlers, probabilistic selection (Algorithm 1)"),
         ("repro.baselines", "naive selection strategies for comparison"),
         ("repro.apps", "KV store, shared document, stock ticker"),
-        ("repro.workloads", "closed-loop §6 clients, open-loop generators"),
+        ("repro.workloads", "closed-loop §6 clients, open-loop generators, "
+                            "aggregated fluid client tier"),
         ("repro.obs", "telemetry: metrics registry, span trees, calibration"),
         ("repro.experiments", "figure/ablation/validation harnesses"),
     ]:
@@ -304,6 +328,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs level the gate applies to (default 2)",
     )
     ps.set_defaults(func=_cmd_speedup)
+
+    pg = sub.add_parser(
+        "scale", help="million-user cells via the aggregated client tier"
+    )
+    pg.add_argument(
+        "--validate",
+        action="store_true",
+        help="compare aggregate vs discrete at N=100/1000 (Wilson overlap)",
+    )
+    pg.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI shape: short N=100 validation + one 1M-user cell",
+    )
+    pg.add_argument("--quick", action="store_true")
+    pg.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on disagreement or a blown wall-clock budget",
+    )
+    pg.add_argument(
+        "--users",
+        metavar="N,M,...",
+        default=None,
+        help="comma-separated population sizes for the scaling surface",
+    )
+    pg.add_argument("--seed", type=int, default=None)
+    pg.add_argument("--save", metavar="PATH", help="write results JSON")
+    pg.add_argument("--jobs", type=int, default=1)
+    pg.set_defaults(func=_cmd_scale)
 
     pi = sub.add_parser("info", help="reproduction summary")
     pi.set_defaults(func=_cmd_info)

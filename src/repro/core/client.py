@@ -606,6 +606,46 @@ class ClientHandler(GroupEndpoint):
             )
         return result.replicas, predicted
 
+    # ------------------------------------------------------------------
+    # Aggregate-tier hooks (repro.workloads.aggregate)
+    # ------------------------------------------------------------------
+    def candidate_views(self, qos: QoSSpec) -> list[ReplicaView]:
+        """The §5.3 candidate set, as the read path would build it.
+
+        Public accessor for the aggregated client tier, which runs
+        Algorithm 1 once per arrival *batch* over exactly these views
+        instead of once per simulated client.
+        """
+        return self._candidates(qos)
+
+    def record_aggregate_batch(
+        self,
+        count: int,
+        timing_failures: int,
+        deferred: int,
+        replicas_selected: int,
+        response_times,
+    ) -> None:
+        """Fold one batch of analytically resolved reads into the counters.
+
+        The aggregated client tier accounts whole arrival batches here so
+        telemetry consumers (``client_*`` counters, the response-time
+        histogram, ``timely_fraction``) see modeled traffic exactly as
+        they see discrete traffic.  ``response_times`` covers the timely
+        reads that produced a response; per-read Python-side lists
+        (``response_times``/``selected_counts``) are deliberately *not*
+        grown — at millions of modeled reads they would dominate memory.
+        """
+        if count <= 0:
+            return
+        self._m_reads_issued.inc(count)
+        self._m_reads_resolved.inc(count)
+        self._m_reads_judged.inc(count)
+        self._m_timing_failures.inc(timing_failures)
+        self._m_deferred_replies.inc(deferred)
+        self._m_replicas_selected.inc(replicas_selected)
+        self._h_response_time.observe_many(response_times)
+
     def _emit_dispatch(self, pending: _PendingCall, target: str, reason: str) -> None:
         """Span for one transmission of the request to one target."""
         if not self.trace.enabled:

@@ -159,6 +159,26 @@ class ResponseTimePredictor:
         self._m_evaluations.inc()
         return self._immediate_pmf(replica, stats).cdf(deadline)
 
+    def response_pmfs(
+        self, replica: str
+    ) -> tuple[Optional[DiscretePmf], Optional[DiscretePmf]]:
+        """The full ``(immediate, deferred)`` response-time pmfs of a replica.
+
+        ``(None, None)`` before any history exists (the cdf methods'
+        ``bootstrap_cdf`` regime).  Rides the same versioned cache as the
+        cdf evaluations, so a steady-state caller gets the previously
+        convolved distributions back without recomputation.  This is the
+        sampling substrate of the aggregated client tier: one pmf pair per
+        selected replica, then vectorized inverse-CDF draws for the whole
+        arrival batch.
+        """
+        stats = self.repository.stats_for(replica)
+        if not stats.has_history:
+            return (None, None)
+        self._m_evaluations.inc()
+        base = self._immediate_pmf(replica, stats)
+        return base, self._deferred_pmf(replica, stats, base)
+
     # ------------------------------------------------------------------
     # Batched evaluation
     # ------------------------------------------------------------------

@@ -60,7 +60,7 @@ class ReadOnlyRegistry:
 # ---------------------------------------------------------------------------
 # Client <-> replica payloads
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """A client operation as transmitted to the selected replicas."""
 
@@ -86,7 +86,7 @@ class Request:
         return self.qos.staleness_threshold
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reply:
     """A replica's response.
 
@@ -112,7 +112,7 @@ class Reply:
 # ---------------------------------------------------------------------------
 # Sequencer payloads (§4.1)
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OverloadReply:
     """An explicit bounce instead of a late (or never) response.
 
@@ -135,7 +135,7 @@ class OverloadReply:
     pressure: int = 0  # the replica's discrete pressure level at shed time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GsnAssign:
     """GSN assignment broadcast by the sequencer.
 
@@ -148,7 +148,7 @@ class GsnAssign:
     advances: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GsnQuery:
     """A replica re-requests the GSN for a buffered read.
 
@@ -164,7 +164,7 @@ class GsnQuery:
 # ---------------------------------------------------------------------------
 # Lazy update propagation (§3, §4.1.2)
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LazyUpdate:
     """State snapshot the lazy publisher multicasts to the secondary group."""
 
@@ -177,7 +177,7 @@ class LazyUpdate:
 # ---------------------------------------------------------------------------
 # Online performance monitoring (§5.4)
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StalenessInfo:
     """The lazy publisher's extra broadcast fields (§5.4.1).
 
@@ -196,7 +196,7 @@ class StalenessInfo:
     lazy_interval: Optional[float] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PerfBroadcast:
     """Measurements a replica publishes to all clients after a read.
 
@@ -214,7 +214,7 @@ class PerfBroadcast:
 # ---------------------------------------------------------------------------
 # Sequencer failover (our completion of §4.1's omitted failure handling)
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SequencerSyncRequest:
     """New sequencer asks surviving primaries for their GSN state."""
 
@@ -222,7 +222,7 @@ class SequencerSyncRequest:
     sync_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SequencerSyncReply:
     """A primary's view of sequencing state, for GSN recovery.
 
@@ -243,7 +243,7 @@ class SequencerSyncReply:
     unassigned: tuple[int, ...]  # request ids, sorted
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateTransferRequest:
     """A rejoining primary asks the current sequencer for a state transfer.
 
@@ -257,7 +257,7 @@ class StateTransferRequest:
     xfer_id: int  # requester-local transfer attempt counter
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateTransferRelay:
     """Sequencer-to-donor forwarding of a :class:`StateTransferRequest`.
 
@@ -271,7 +271,7 @@ class StateTransferRelay:
     max_gsn: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateTransferSnapshot:
     """The donor's reply to a rejoining primary: everything needed to
     re-enter the primary group at full strength.
@@ -305,7 +305,7 @@ class StateTransferSnapshot:
     skips: tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GsnSkip:
     """Sequencer-declared no-op GSNs.
 
@@ -322,7 +322,7 @@ class GsnSkip:
 # ---------------------------------------------------------------------------
 # Outcomes delivered to the client application
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadOutcome:
     """What the client application learns about one read."""
 
@@ -336,7 +336,7 @@ class ReadOutcome:
     gsn: int  # version of the delivered response (-1 if none)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateOutcome:
     """What the client application learns about one update."""
 

@@ -28,7 +28,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import available_cpus, shutdown_pools
+from repro.experiments.runner import (
+    available_cpus,
+    resolve_chunk_size,
+    shutdown_pools,
+)
 
 #: The quick Figure 4 grid (same shape the bench suite and CI use):
 #: 3 deadlines x 2 P_c x 2 LUI = 12 independent cells.
@@ -50,6 +54,9 @@ class SpeedupRow:
     seconds: float
     cells_per_second: float
     speedup: float  # vs. the jobs=1 row of the same run
+    # Cells per worker round-trip actually used by the runner for this
+    # level (the default heuristic unless the caller pinned one).
+    chunk: int = 1
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,7 @@ def measure_speedup(
                 speedup=(serial_seconds / seconds)
                 if serial_seconds and seconds > 0
                 else 1.0,
+                chunk=resolve_chunk_size(None, num_cells, jobs),
             )
         )
     return SpeedupReport(cores=available_cpus(), rows=tuple(rows))
@@ -119,10 +127,10 @@ def measure_speedup(
 
 def render(report: SpeedupReport) -> str:
     table = format_table(
-        ["jobs", "cells", "seconds", "cells/s", "speedup vs jobs=1"],
+        ["jobs", "cells", "chunk", "seconds", "cells/s", "speedup vs jobs=1"],
         [
-            (row.jobs, row.cells, row.seconds, row.cells_per_second,
-             f"{row.speedup:.2f}x")
+            (row.jobs, row.cells, row.chunk, row.seconds,
+             row.cells_per_second, f"{row.speedup:.2f}x")
             for row in report.rows
         ],
         title=(

@@ -20,7 +20,7 @@ def next_message_id() -> int:
     return next(_MESSAGE_IDS)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One message in flight between two endpoints."""
 

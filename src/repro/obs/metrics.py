@@ -99,6 +99,28 @@ class Histogram:
         self.count += 1
         self.sum += value
 
+    def observe_many(self, values) -> None:
+        """Fold a whole vector of observations in at once.
+
+        Equivalent to calling :meth:`observe` per element; the bucketing
+        runs as one ``searchsorted`` + ``bincount`` pass, which is what
+        lets the aggregated client tier account a batch of thousands of
+        modeled response times without a Python-level loop.
+        """
+        import numpy as np
+
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self.boundaries, values, side="right")
+        bucket_counts = np.bincount(indices, minlength=len(self.counts))
+        counts = self.counts
+        for i, c in enumerate(bucket_counts):
+            if c:
+                counts[i] += int(c)
+        self.count += int(values.size)
+        self.sum += float(values.sum())
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -140,6 +162,9 @@ class _NoopInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
     def quantile(self, q: float) -> float:

@@ -64,3 +64,33 @@ def wilson_interval(
     center = (p + z2 / (2 * trials)) / denom
     half = (z / denom) * math.sqrt(p * (1.0 - p) / trials + z2 / (4 * trials * trials))
     return (max(0.0, center - half), min(1.0, center + half))
+
+
+def intervals_overlap(
+    a: tuple[float, float], b: tuple[float, float]
+) -> bool:
+    """Do two (low, high) intervals share at least one point?"""
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def proportions_agree(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    level: float = 0.95,
+) -> bool:
+    """Two observed proportions agree when their Wilson intervals overlap.
+
+    The acceptance test of the aggregated client tier: a modeled
+    probability (timing failure, deferral, a response-CDF point) counts
+    as matching the discrete simulator's when the score intervals of the
+    two samples intersect.  Zero-trial samples carry no evidence and are
+    treated as agreeing.
+    """
+    if trials_a <= 0 or trials_b <= 0:
+        return True
+    return intervals_overlap(
+        wilson_interval(successes_a, trials_a, level),
+        wilson_interval(successes_b, trials_b, level),
+    )

@@ -175,6 +175,24 @@ class DiscretePmf:
         out[xs < self.support_min] = 0.0
         return out
 
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` i.i.d. values from the pmf (inverse-CDF on the grid).
+
+        One uniform vector and one ``searchsorted`` against the cached
+        cumulative array — the vectorized sampling primitive the
+        aggregated client tier uses to realize response times for whole
+        arrival batches at once.  Each draw is a grid value, i.e. exactly
+        a value :meth:`quantile` could return.
+        """
+        if n < 0:
+            raise ValueError(f"negative sample count {n!r}")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        u = rng.random(n)
+        indices = np.searchsorted(self._cumulative(), u, side="right")
+        np.minimum(indices, self.mass.size - 1, out=indices)
+        return (self.offset + indices) * self.quantum
+
     def quantile(self, q: float) -> float:
         """Smallest grid value v with P(X <= v) >= q."""
         if not 0.0 <= q <= 1.0:

@@ -8,18 +8,28 @@
   (Poisson/periodic updaters) for experiments that pin the update arrival
   rate ``lambda_u``;
 * :mod:`repro.workloads.scenarios` — canned experimental setups, including
-  the paper's exact §6 testbed.
+  the paper's exact §6 testbed;
+* :mod:`repro.workloads.aggregate` — the fluid-approximation client tier:
+  one pooled-arrival process per population, for million-user cells.
 """
 
+from repro.workloads.aggregate import (
+    AggregatedClientPool,
+    AggregateStats,
+    PopulationSpec,
+)
 from repro.workloads.clients import AlternatingClient, ClientWorkloadConfig
 from repro.workloads.generators import OpenLoopUpdater, PeriodicReader
 from repro.workloads.scenarios import PaperScenario, build_paper_scenario
 
 __all__ = [
+    "AggregateStats",
+    "AggregatedClientPool",
     "AlternatingClient",
     "ClientWorkloadConfig",
     "OpenLoopUpdater",
     "PeriodicReader",
     "PaperScenario",
+    "PopulationSpec",
     "build_paper_scenario",
 ]

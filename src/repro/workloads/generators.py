@@ -169,6 +169,75 @@ class BurstyUpdater:
         return self.issued
 
 
+class PoissonReader:
+    """Open-loop Poisson read arrivals — the merged-stream ground truth.
+
+    The discrete reference for the aggregated client tier
+    (:mod:`repro.workloads.aggregate`): ``N`` independent Poisson readers
+    at per-client rate ``λ`` are statistically indistinguishable from one
+    reader at rate ``N·λ`` (Poisson superposition), so a single
+    ``PoissonReader`` at the population's *total* rate is the exact
+    per-request simulation of the whole population.  Outcomes are
+    recorded with their issue times so summaries can drop a warmup
+    prefix the same way the pool does.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        handler: ClientHandler,
+        rng: RngRegistry,
+        qos: QoSSpec,
+        rate: float,
+        duration: float,
+        method: str = "get",
+        args: Callable[[int], tuple] = lambda i: (),
+        rate_controller: Optional[ArrivalRateController] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        self.sim = sim
+        self.handler = handler
+        self.qos = qos
+        self.rate = rate
+        self.duration = duration
+        self.method = method
+        self.args = args
+        self.rate_controller = rate_controller
+        self.issued = 0
+        # (issued_at, outcome) pairs, in completion order.
+        self.records: list[tuple[float, ReadOutcome]] = []
+        self._rng = rng.stream(f"poisson-reader.{handler.name}")
+        self.process = Process(sim, self._run(), name=f"preader-{handler.name}")
+
+    def _effective_rate(self) -> float:
+        if self.rate_controller is None:
+            return self.rate
+        return self.rate * self.rate_controller.factor
+
+    def _issue(self, i: int) -> None:
+        issued_at = self.sim.now
+        self.handler.invoke(
+            self.method,
+            self.args(i),
+            self.qos,
+            callback=lambda outcome: self.records.append((issued_at, outcome)),
+        )
+        self.issued += 1
+
+    def _run(self):
+        deadline = self.sim.now + self.duration
+        while True:
+            gap = self._rng.expovariate(self._effective_rate())
+            if self.sim.now + gap > deadline:
+                break
+            yield Timeout(gap)
+            self._issue(self.issued)
+        return self.issued
+
+
 class PeriodicReader:
     """Issues reads on a fixed period, recording every outcome.
 

@@ -119,3 +119,32 @@ def test_read_staleness_threshold_from_qos():
 def test_reply_fields():
     reply = Reply(1, "r", RequestKind.READ, "v", t1=0.12, gsn=9, deferred=True)
     assert reply.deferred and reply.gsn == 9 and reply.t1 == 0.12
+
+
+# ---------------------------------------------------------------------------
+# slots=True hygiene on the hot wire payloads
+# ---------------------------------------------------------------------------
+def test_wire_payloads_have_no_instance_dict():
+    from repro.net.message import Message
+
+    qos = QoSSpec(staleness_threshold=2, deadline=0.16, min_probability=0.9)
+    request = Request(1, "c", "get", (), RequestKind.READ, qos, sent_at=0.0)
+    reply = Reply(1, "r", RequestKind.READ, "v", t1=0.1, gsn=3)
+    message = Message(sender="c", recipient="r", payload=request, sent_at=0.0)
+    for payload in (request, reply, message):
+        assert not hasattr(payload, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            payload.sneaky = 1
+
+
+def test_wire_payloads_pickle_round_trip():
+    """slots dataclasses must stay picklable — the parallel sweep runner
+    ships results between processes."""
+    import pickle
+
+    qos = QoSSpec(staleness_threshold=2, deadline=0.16, min_probability=0.9)
+    request = Request(7, "c", "get", ("k",), RequestKind.READ, qos, sent_at=1.5)
+    reply = Reply(7, "r", RequestKind.READ, "v", t1=0.1, gsn=3, deferred=True)
+    for payload in (request, reply):
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone == payload

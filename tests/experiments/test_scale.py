@@ -1,0 +1,162 @@
+"""Tests for the million-user scale experiment (:mod:`repro.experiments.scale`).
+
+The load-bearing piece is the *validation property*: across seeds, the
+fluid tier's modeled outcome proportions must sit inside Wilson-interval
+agreement with the discrete per-request simulator at N=100 and N=1000.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.scale import (
+    ScaleCellResult,
+    compare_cells,
+    main as scale_main,
+    render_surface,
+    render_validation,
+    run_scale_cell,
+    run_scale_surface,
+    run_scale_validation,
+)
+from repro.experiments.harness import Figure4Cell
+
+
+# ---------------------------------------------------------------------------
+# Single cells
+# ---------------------------------------------------------------------------
+def test_run_scale_cell_aggregate_smoke():
+    result = run_scale_cell(
+        users=10_000, duration=20.0, warmup=5.0, seed=1, mode="aggregate",
+    )
+    assert result.mode == "aggregate"
+    assert result.users == 10_000
+    # 10k users * 0.05 reads/s * 15 s post-warmup window ~ 7500 arrivals.
+    assert result.arrivals > 3_000
+    assert result.batches > 0
+    assert 0 < result.probe_reads < result.arrivals
+    assert result.sample_reads > 0.9 * result.arrivals  # modeled dominates
+    assert result.wall_seconds > 0
+    assert result.arrivals_per_wall_second > 0
+    assert isinstance(result.cell, Figure4Cell)
+    assert len(result.cdf_counts) == len(result.cdf_points) == 3
+    # CDF numerators are monotone in x.
+    assert list(result.cdf_counts) == sorted(result.cdf_counts)
+
+
+def test_run_scale_cell_discrete_smoke():
+    result = run_scale_cell(
+        users=100, duration=20.0, warmup=5.0, seed=1, mode="discrete",
+        total_read_rate=2.0, total_update_rate=0.5,
+    )
+    assert result.mode == "discrete"
+    assert result.batches == 0
+    assert result.probe_reads == 0
+    # Discrete sampling keeps the post-warmup arrivals (no probe split).
+    assert 0 < result.sample_reads <= result.arrivals
+    assert 10 <= result.arrivals <= 80  # ~2/s over the 15 s kept window
+
+
+def test_run_scale_cell_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        run_scale_cell(users=10, mode="hybrid")
+
+
+# ---------------------------------------------------------------------------
+# Agreement machinery
+# ---------------------------------------------------------------------------
+def _cell(mode, reads, failures, deferred, cdf_counts):
+    return ScaleCellResult(
+        users=100, mode=mode,
+        cell=Figure4Cell(
+            deadline=0.160, min_probability=0.9, lazy_update_interval=2.0,
+            avg_replicas_selected=2.0,
+            timing_failure_probability=failures / reads,
+            ci_low=0.0, ci_high=1.0,
+            reads=reads, timing_failures=failures,
+            deferred_fraction=0.0, mean_response_time=0.05,
+        ),
+        wall_seconds=1.0, sim_seconds=10.0, arrivals=reads,
+        batches=0, probe_reads=0,
+        sample_reads=reads, sample_failures=failures,
+        sample_deferred=deferred,
+        cdf_points=(0.08, 0.16, 0.24), cdf_counts=cdf_counts,
+    )
+
+
+def test_compare_cells_agreeing_pair():
+    aggregate = _cell("aggregate", 400, 6, 10, (300, 380, 395))
+    discrete = _cell("discrete", 380, 4, 12, (290, 360, 375))
+    validation = compare_cells(aggregate, discrete)
+    assert validation.failure_agree
+    assert validation.deferred_agree
+    assert all(validation.cdf_agree)
+    assert validation.agree
+
+
+def test_compare_cells_detects_failure_mismatch():
+    aggregate = _cell("aggregate", 1000, 5, 0, (900, 980, 995))
+    discrete = _cell("discrete", 1000, 300, 0, (900, 980, 995))
+    validation = compare_cells(aggregate, discrete)
+    assert not validation.failure_agree
+    assert not validation.agree
+
+
+def test_compare_cells_detects_cdf_mismatch():
+    aggregate = _cell("aggregate", 1000, 5, 0, (100, 980, 995))
+    discrete = _cell("discrete", 1000, 6, 0, (900, 980, 995))
+    validation = compare_cells(aggregate, discrete)
+    assert validation.failure_agree
+    assert not validation.cdf_agree[0]
+    assert not validation.agree
+
+
+# ---------------------------------------------------------------------------
+# The acceptance property: fluid ≈ discrete across seeds and populations
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_validation_agrees_across_seeds(seed):
+    """ISSUE acceptance: Wilson-CI agreement at N=100 and N=1000,
+    property-tested across seeds (default 240 s windows; ~3 s wall each)."""
+    result = run_scale_validation(populations=(100, 1000), seed=seed)
+    assert [cell.users for cell in result.cells] == [100, 1000]
+    for cell in result.cells:
+        # Enough modeled arrivals for the comparison to carry evidence.
+        assert cell.aggregate.sample_reads > 100
+        assert cell.discrete.sample_reads > 100
+        assert cell.agree, (
+            f"seed={seed} N={cell.users}: "
+            f"failure_agree={cell.failure_agree} "
+            f"deferred_agree={cell.deferred_agree} cdf={cell.cdf_agree}"
+        )
+    text = render_validation(result)
+    assert "agree" in text
+
+
+# ---------------------------------------------------------------------------
+# Scaling surface + CLI entry
+# ---------------------------------------------------------------------------
+def test_run_scale_surface_reports_speedup():
+    result = run_scale_surface(
+        users_list=(10_000,), deadlines_ms=(160,),
+        duration=10.0, warmup=2.0, calibration_users=200,
+        calibration_duration=10.0,
+    )
+    assert (10_000, 160) in result.cells
+    assert result.discrete_seconds_per_request > 0
+    assert result.speedup(10_000, 160) > 1.0
+    text = render_surface(result)
+    assert "cells/s" not in text or text  # renders without raising
+    assert "10,000" in text or "10000" in text
+
+
+def test_main_quick_validate_saves_payload(tmp_path):
+    out = tmp_path / "scale.json"
+    code = scale_main(
+        ["--validate", "--quick", "--check", "--save", str(out)]
+    )
+    assert code == 0
+    document = json.loads(out.read_text())
+    validation = document["results"]["validation"]
+    assert validation["all_agree"] is True
+    assert {cell["users"] for cell in validation["cells"]} == {100, 1000}

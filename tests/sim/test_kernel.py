@@ -263,3 +263,98 @@ def test_free_list_reuses_unreferenced_events(sim):
     assert isinstance(first.seq, int)  # reinitialized, valid event
     sim.run()
     assert sim.events_processed == 101
+
+
+# ---------------------------------------------------------------------------
+# Bulk scheduling (schedule_batch)
+# ---------------------------------------------------------------------------
+def test_schedule_batch_fires_in_time_order(sim, recorder):
+    sim.schedule_batch([3.0, 1.0, 2.0], recorder, args_list=[("c",), ("a",), ("b",)])
+    sim.run()
+    assert recorder.calls == ["a", "b", "c"]
+
+
+def test_schedule_batch_matches_loop_of_schedule_at():
+    """The bulk path is observationally identical to m schedule_at calls."""
+    times = [5.0, 1.0, 1.0, 3.0, 2.0, 1.0, 4.0]
+
+    def run(use_batch):
+        sim = Simulator()
+        order = []
+        if use_batch:
+            sim.schedule_batch(
+                times, order.append, args_list=[(i,) for i in range(len(times))]
+            )
+        else:
+            for i, t in enumerate(times):
+                sim.schedule_at(t, order.append, i)
+        sim.run()
+        return order
+
+    assert run(True) == run(False)
+
+
+def test_schedule_batch_tie_break_is_input_order(sim, recorder):
+    sim.schedule_batch([1.0] * 4, recorder, args_list=[(l,) for l in "abcd"])
+    sim.run()
+    assert recorder.calls == list("abcd")
+
+
+def test_schedule_batch_interleaves_with_existing_events(sim, recorder):
+    # A heap already larger than 8x the batch exercises the push path;
+    # then a batch larger than heap/8 exercises extend+heapify.
+    for i in range(100):
+        sim.schedule_at(10.0 + i, recorder, f"old{i}")
+    sim.schedule_batch([0.5, 11.5], recorder, args_list=[("b0",), ("b1",)])
+    sim.schedule_batch(
+        [float(i) + 0.25 for i in range(1, 31)],
+        recorder,
+        args_list=[(f"big{i}",) for i in range(30)],
+    )
+    sim.run()
+    assert recorder.calls[0] == "b0"
+    assert recorder.calls[1] == "big0"
+    assert len(recorder.calls) == 132
+
+
+def test_schedule_batch_empty_is_noop(sim):
+    assert sim.schedule_batch([], lambda: None) == []
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_schedule_batch_shared_args(sim, recorder):
+    """Without args_list every event fires the callback with no args."""
+    hits = []
+    sim.schedule_batch([1.0, 2.0], lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [1.0, 2.0]
+
+
+def test_schedule_batch_validates_before_scheduling(sim, recorder):
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([1.0, float("nan")], recorder, args_list=[("a",), ("b",)])
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([-1.0], recorder, args_list=[("a",)])
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([1.0], recorder, args_list=[("a",), ("b",)])
+    # Nothing leaked into the heap from the rejected batches.
+    sim.run()
+    assert recorder.calls == []
+
+
+def test_schedule_batch_events_cancellable(sim, recorder):
+    events = sim.schedule_batch([1.0, 2.0, 3.0], recorder, args_list=[("a",), ("b",), ("c",)])
+    events[1].cancel()
+    sim.run()
+    assert recorder.calls == ["a", "c"]
+
+
+def test_schedule_batch_reuses_free_list(sim):
+    for i in range(50):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    events = sim.schedule_batch([100.0 + i for i in range(50)], lambda: None)
+    assert len(events) == 50
+    sim.run()
+    assert sim.events_processed == 100

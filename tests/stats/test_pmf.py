@@ -328,3 +328,48 @@ def test_convolve_all_fft_exactness_property(seed, sizes):
     assert fast.offset == exact.offset
     np.testing.assert_allclose(fast.mass, exact.mass, atol=1e-12)
     assert fast.mean() == pytest.approx(exact.mean(), abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized sampling (the aggregate tier's outcome-draw primitive)
+# ---------------------------------------------------------------------------
+def test_sample_edge_cases():
+    pmf = DiscretePmf.degenerate(0.010, Q)
+    rng = np.random.default_rng(0)
+    assert pmf.sample(0, rng).size == 0
+    with pytest.raises(ValueError):
+        pmf.sample(-1, rng)
+
+
+def test_sample_degenerate_returns_the_single_value():
+    pmf = DiscretePmf.degenerate(0.025, Q)
+    draws = pmf.sample(100, np.random.default_rng(1))
+    np.testing.assert_allclose(draws, 0.025)
+
+
+def test_sample_values_are_grid_points_of_the_support():
+    pmf = DiscretePmf.from_samples([0.010, 0.020, 0.020, 0.040], Q)
+    draws = pmf.sample(2000, np.random.default_rng(2))
+    support = {
+        round((pmf.offset + i) * Q, 9)
+        for i in range(pmf.mass.size)
+        if pmf.mass[i] > 0
+    }
+    assert {round(v, 9) for v in draws} <= support
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_sample_distribution_matches_mass_property(seed):
+    """Empirical frequencies converge on the pmf's mass vector."""
+    rng = np.random.default_rng(seed)
+    mass = rng.random(6) + 0.05
+    mass /= mass.sum()
+    pmf = DiscretePmf(offset=3, mass=mass, quantum=Q)
+    n = 20_000
+    draws = pmf.sample(n, rng)
+    indices = np.rint(draws / Q).astype(int) - pmf.offset
+    counts = np.bincount(indices, minlength=mass.size)
+    np.testing.assert_allclose(counts / n, mass, atol=0.02)
+    # Sample mean tracks the analytic mean.
+    assert abs(draws.mean() - pmf.mean()) < 5 * Q

@@ -8,7 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy import stats as sps
 
-from repro.stats.confidence import binomial_confidence_interval, wilson_interval
+from repro.stats.confidence import (
+    binomial_confidence_interval,
+    intervals_overlap,
+    proportions_agree,
+    wilson_interval,
+)
 from repro.stats.poisson import poisson_cdf, poisson_pmf, poisson_quantile
 
 
@@ -137,3 +142,40 @@ def test_intervals_well_formed_property(trials, frac):
         assert 0.0 <= low <= high <= 1.0
         assert low <= successes / trials + 1e-12
         assert high >= successes / trials - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Interval-overlap agreement (the aggregate-tier validation criterion)
+# ---------------------------------------------------------------------------
+def test_intervals_overlap_cases():
+    assert intervals_overlap((0.1, 0.3), (0.2, 0.5))
+    assert intervals_overlap((0.2, 0.5), (0.1, 0.3))  # symmetric
+    assert intervals_overlap((0.1, 0.2), (0.2, 0.4))  # touching endpoints
+    assert intervals_overlap((0.1, 0.5), (0.2, 0.3))  # containment
+    assert not intervals_overlap((0.1, 0.2), (0.3, 0.4))
+    assert not intervals_overlap((0.3, 0.4), (0.1, 0.2))
+
+
+def test_proportions_agree_identical_and_disjoint():
+    # Same underlying proportion with decent samples: agree.
+    assert proportions_agree(10, 100, 12, 100)
+    # Wildly different proportions with large samples: disagree.
+    assert not proportions_agree(5, 1000, 500, 1000)
+
+
+def test_proportions_agree_zero_trials_is_vacuous():
+    assert proportions_agree(0, 0, 50, 100)
+    assert proportions_agree(50, 100, 0, 0)
+    assert proportions_agree(0, 0, 0, 0)
+
+
+def test_proportions_agree_small_samples_are_forgiving():
+    # Wilson intervals at n=10 are wide: 0/10 vs 3/10 still overlaps.
+    assert proportions_agree(0, 10, 3, 10)
+
+
+def test_proportions_agree_level_tightens_intervals():
+    # A borderline pair can agree at 99% but not at a looser 80% level.
+    args = (12, 200, 30, 200)
+    assert proportions_agree(*args, level=0.99)
+    assert not proportions_agree(*args, level=0.80)
