@@ -1,0 +1,108 @@
+"""φ-accrual detector overhead benchmarks (ISSUE 8).
+
+The acceptance bound mirrors the telemetry one: with the detector
+disabled (``ServiceConfig.detector = None``) the only cost left on the
+client/replica hot paths is the ``if self.detector is not None`` guard,
+and that guard must cost under 3 % of one simulation-kernel event.  The
+enabled-path costs (record / phi / suspicion_check / adaptive_timeout)
+are reported alongside so regressions stay visible, but only the
+disabled guard is gated — the detector is default-off.
+
+Run: ``pytest benchmarks/test_bench_detector.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import DetectorConfig, PhiAccrualDetector
+from repro.experiments.report import format_table
+
+from test_bench_obs import OPS, _kernel_per_event_s, _per_op_s
+
+
+class _Carrier:
+    """Stand-in for a handler with the detector feature switched off."""
+
+    detector = None
+
+
+def _warm_detector() -> PhiAccrualDetector:
+    det = PhiAccrualDetector(DetectorConfig(window_size=64, min_samples=8))
+    t = 0.0
+    for _ in range(80):  # fill the window past min_samples
+        det.record("peer", t)
+        t += 0.05
+    return det
+
+
+@pytest.mark.benchmark(group="detector-overhead")
+def test_disabled_detector_guard_vanishes_against_kernel_events(
+    benchmark, report, record
+):
+    per_event = _kernel_per_event_s()
+    carrier = _Carrier()
+
+    def guarded() -> None:
+        if carrier.detector is not None:  # pragma: no cover - never taken
+            carrier.detector.record("peer", 0.0)
+
+    cost = _per_op_s(guarded)
+    benchmark.pedantic(guarded, rounds=3, iterations=OPS)
+    ratio = cost / per_event
+    report(
+        f"disabled detector guard: {1e9 * cost:.1f} ns/op "
+        f"({100 * ratio:.2f}% of one kernel event)"
+    )
+    record("kernel_ns_per_event", 1e9 * per_event)
+    record("disabled_guard_ns", 1e9 * cost)
+    # The gate: default-off means the feature must be free when off.
+    assert ratio < 0.03, (
+        f"disabled guard costs {100 * ratio:.2f}% of a kernel event (bound: 3%)"
+    )
+
+
+@pytest.mark.benchmark(group="detector-overhead")
+def test_enabled_detector_ops_are_reported(benchmark, report, record):
+    per_event = _kernel_per_event_s()
+    det = _warm_detector()
+    clock = {"t": 100.0}
+
+    def record_arrival() -> None:
+        clock["t"] += 0.05
+        det.record("peer", clock["t"])
+
+    costs = {
+        "record": _per_op_s(record_arrival, ops=OPS // 4),
+        "phi": _per_op_s(lambda: det.phi("peer", clock["t"] + 0.04),
+                         ops=OPS // 4),
+        "suspicion_check": _per_op_s(
+            lambda: det.suspicion_check("peer", clock["t"] + 0.04),
+            ops=OPS // 4,
+        ),
+        "adaptive_timeout": _per_op_s(
+            lambda: det.adaptive_timeout("peer", 0.5), ops=OPS // 4
+        ),
+    }
+    benchmark.pedantic(
+        lambda: det.phi("peer", clock["t"] + 0.04), rounds=3,
+        iterations=OPS // 4,
+    )
+
+    rows = [
+        (name, f"{1e9 * cost:.1f}", f"{100 * cost / per_event:.2f}%")
+        for name, cost in costs.items()
+    ]
+    for name, cost in costs.items():
+        record(f"enabled_{name}_ns", 1e9 * cost)
+    report("")
+    report(
+        format_table(
+            ["detector call", "ns/op", "% of one kernel event"],
+            rows,
+            title=(
+                "Detector op cost vs simulation-kernel event cost "
+                f"(kernel: {1e9 * per_event:.0f} ns/event)"
+            ),
+        )
+    )

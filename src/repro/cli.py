@@ -8,6 +8,7 @@ Commands:
 * ``validation`` — staleness-model calibration + hot-spot avoidance;
 * ``chaos`` — seeded fault campaigns audited by consistency invariants;
 * ``overload`` — load-storm campaigns: shedding vs. unbounded queues;
+* ``gray`` — gray-failure campaigns: φ-accrual detection vs. fixed timeouts;
 * ``metrics`` — one instrumented cell: telemetry + calibration report;
 * ``speedup`` — warm-worker runner throughput at several ``--jobs`` levels;
 * ``scale`` — million-user cells via the aggregated (fluid) client tier,
@@ -106,6 +107,25 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     if args.trace_dir:
         argv += ["--trace-dir", args.trace_dir]
     return overload.main(argv + _jobs_argv(args))
+
+
+def _cmd_gray(args: argparse.Namespace) -> int:
+    from repro.experiments import gray
+
+    argv = ["--seeds", str(args.seeds), "--seed", str(args.seed)]
+    if args.quick:
+        argv.append("--quick")
+    if args.duration is not None:
+        argv += ["--duration", str(args.duration)]
+    if args.check:
+        argv.append("--check")
+    if args.save:
+        argv += ["--save", args.save]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    return gray.main(argv + _jobs_argv(args))
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -288,6 +308,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     po.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
     po.set_defaults(func=_cmd_overload)
+
+    pgr = sub.add_parser(
+        "gray", help="gray failures: φ-accrual detector vs. fixed timeouts"
+    )
+    pgr.add_argument("--seeds", type=int, default=5, metavar="N")
+    pgr.add_argument("--seed", type=int, default=0, help="base seed")
+    pgr.add_argument("--duration", type=float, default=None, metavar="SECONDS")
+    pgr.add_argument("--quick", action="store_true")
+    pgr.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on any invariant or acceptance violation",
+    )
+    pgr.add_argument("--save", metavar="PATH", help="write results as JSON")
+    pgr.add_argument(
+        "--metrics-out", metavar="PATH", help="write telemetry as JSONL"
+    )
+    pgr.add_argument(
+        "--trace-dir", metavar="DIR", help="dump traces of violating campaigns"
+    )
+    pgr.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
+    pgr.set_defaults(func=_cmd_gray)
 
     pm = sub.add_parser(
         "metrics", help="instrumented cell: telemetry + calibration report"

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.core.detector import DetectorConfig, PhiAccrualDetector
 from repro.core.overload import DegradationPolicy
 from repro.core.prediction import ResponseTimePredictor
 from repro.core.qos import QoSSpec
@@ -171,6 +172,7 @@ class ClientHandler(GroupEndpoint):
         calibration: Optional[CalibrationTracker] = None,
         degradation: Optional[DegradationPolicy] = None,
         priority: Optional[str] = None,
+        detector: Optional[DetectorConfig] = None,
     ) -> None:
         super().__init__(name, heartbeat_interval=heartbeat_interval, rto=rto)
         self.groups = groups
@@ -202,6 +204,15 @@ class ClientHandler(GroupEndpoint):
         self.trace = trace
         self.degradation = degradation
         self.priority = priority
+        # Default-off φ-accrual detection of gray (alive-but-slow)
+        # replicas: None keeps the pre-detector behaviour bit-identical.
+        self.detector: Optional[PhiAccrualDetector] = (
+            None
+            if detector is None
+            else PhiAccrualDetector(
+                detector, owner=name, metrics=self.metrics, trace=trace
+            )
+        )
         # Replica-name -> earliest time a new dispatch there is allowed
         # again (populated by OverloadReply.retry_after back-pressure).
         self._shed_until: dict[str, float] = {}
@@ -250,6 +261,13 @@ class ClientHandler(GroupEndpoint):
         self._m_retry_resolved = counter("client_retry_resolved", **labels)
         self._m_hedge_resolved = counter("client_hedge_resolved", **labels)
         self._m_reads_salvaged = counter("client_reads_salvaged", **labels)
+
+        # Gray-failure detection accounting (DESIGN.md §14).
+        self._m_detector_ejections = counter(
+            "client_detector_ejections", **labels
+        )
+        self._m_detector_hedges = counter("client_detector_hedges", **labels)
+        self._m_detector_probes = counter("client_detector_probes", **labels)
 
         # Overload / degradation-ladder accounting (DESIGN.md §11).
         self._m_overload_replies = counter("client_overload_replies", **labels)
@@ -492,11 +510,25 @@ class ClientHandler(GroupEndpoint):
 
         targets = list(selection)
         policy = self.retry_policy
+        # Suspicion-triggered hedging: when the sole selected replica has
+        # an elevated (not yet ejectable) φ, hedge even below the
+        # checkpoint-fraction policy's min_probability trigger.
+        suspicion_hedge = (
+            policy is not None
+            and policy.hedge
+            and len(selection) == 1
+            and self.detector is not None
+            and self.detector.phi(selection[0], self.now)
+            >= self.detector.config.phi_hedge
+        )
         if (
             policy is not None
             and policy.hedge
             and len(selection) == 1
-            and qos.min_probability >= policy.hedge_min_probability
+            and (
+                qos.min_probability >= policy.hedge_min_probability
+                or suspicion_hedge
+            )
         ):
             # Hedge a demanding single-replica read: duplicate it to the
             # runner-up so one slow/crashed replica cannot sink P_c(d).
@@ -507,7 +539,21 @@ class ClientHandler(GroupEndpoint):
                 pending.tried.add(extra)
                 pending.hedge_targets.add(extra)
                 self._m_hedges_sent.inc()
+                if suspicion_hedge:
+                    self._m_detector_hedges.inc()
                 self._emit_dispatch(pending, extra, "hedge")
+        if self.detector is not None:
+            # Probe traffic keeps ejected replicas observable: without it
+            # an ejected peer would produce no arrivals and stay ejected
+            # after its gray fault healed.
+            for peer in self.detector.suspected():
+                if peer in targets:
+                    continue
+                if self.detector.should_probe(peer, self.now):
+                    targets.append(peer)
+                    pending.tried.add(peer)
+                    self._m_detector_probes.inc()
+                    self._emit_dispatch(pending, peer, "probe")
         if self.has_sequencer:
             sequencer = self.view_of(self.groups.primary).leader
             if sequencer is not None and sequencer not in targets:
@@ -533,6 +579,12 @@ class ClientHandler(GroupEndpoint):
                 self._retry_checkpoint,
                 request.request_id,
             )
+            if self.detector is not None:
+                self.sim.schedule(
+                    qos.deadline * policy.checkpoint_fraction / 2.0,
+                    self._suspicion_checkpoint,
+                    request.request_id,
+                )
         pending.gc_event = self.sim.schedule(
             max(self.gc_timeout, 2 * qos.deadline),
             self._garbage_collect,
@@ -589,6 +641,8 @@ class ClientHandler(GroupEndpoint):
             secondaries = [c for c in candidates if not c.is_primary]
             if secondaries:
                 candidates = secondaries
+        if self.detector is not None:
+            candidates = self._eject_suspects(candidates)
         stale_factor = self.predictor.staleness_factor(
             qos.staleness_threshold, self.now
         )
@@ -605,6 +659,41 @@ class ClientHandler(GroupEndpoint):
                 getattr(self.strategy, "correlated_deferral", False),
             )
         return result.replicas, predicted
+
+    def _eject_suspects(
+        self, candidates: list[ReplicaView]
+    ) -> list[ReplicaView]:
+        """Drop φ-suspected candidates before Algorithm 1 runs.
+
+        Ejection is advisory, never total: if fewer than
+        ``min_eject_keep`` candidates would survive, the detector stands
+        aside and Algorithm 1 sees the full set (a detector in a
+        panicking state must not be able to starve selection).  Ejected
+        replicas stay in the repository and keep receiving probe traffic
+        (:meth:`PhiAccrualDetector.should_probe`), so one on-time reply
+        re-admits them.
+        """
+        assert self.detector is not None
+        detector = self.detector
+        now = self.now
+        healthy: list[ReplicaView] = []
+        ejected: list[str] = []
+        for view in candidates:
+            detector.suspicion_check(view.name, now)
+            # is_suspected covers both the latched state (threshold may
+            # have been crossed on an earlier check) and the flap-damping
+            # quarantine, which outlives the clearing arrival.
+            if detector.is_suspected(view.name, now):
+                ejected.append(view.name)
+            else:
+                healthy.append(view)
+        if not ejected or len(healthy) < detector.config.min_eject_keep:
+            return candidates
+        self._m_detector_ejections.inc(len(ejected))
+        self.trace.emit(
+            self.now, "client.eject", self.name, ejected=ejected
+        )
+        return healthy
 
     # ------------------------------------------------------------------
     # Aggregate-tier hooks (repro.workloads.aggregate)
@@ -729,6 +818,8 @@ class ClientHandler(GroupEndpoint):
         if isinstance(payload, PerfBroadcast):
             self.repository.record_broadcast(payload)
             self.repository.record_staleness(payload, self.now)
+            if self.detector is not None:
+                self.detector.record(payload.replica, self.now)
 
     # ------------------------------------------------------------------
     # Protocol-specific context hooks (overridden by the causal handler)
@@ -748,6 +839,8 @@ class ClientHandler(GroupEndpoint):
         tp = self.now
         is_read = reply.kind is RequestKind.READ
         self._absorb_context(reply)
+        if self.detector is not None:
+            self.detector.record(reply.replica, tp)
         pending = self._pending.get(reply.request_id)
         # Even late/duplicate replies refresh the monitoring state (§5.4).
         if pending is not None:
@@ -834,6 +927,9 @@ class ClientHandler(GroupEndpoint):
     # ------------------------------------------------------------------
     def _on_overload(self, bounce: OverloadReply) -> None:
         """A replica shed one of our reads instead of serving it late."""
+        if self.detector is not None:
+            # A bounce is still evidence of life (overloaded, not gray).
+            self.detector.record(bounce.replica, self.now)
         self._m_overload_replies.inc()
         until = self.now + bounce.retry_after
         if until > self._shed_until.get(bounce.replica, 0.0):
@@ -934,6 +1030,41 @@ class ClientHandler(GroupEndpoint):
     # ------------------------------------------------------------------
     # Deadline-budget-aware retry (DESIGN.md §9)
     # ------------------------------------------------------------------
+    def _suspicion_checkpoint(self, request_id: int) -> None:
+        """Early no-reply check driven by live suspicion (DESIGN.md §14).
+
+        Fires at half the checkpoint delay.  The checkpoint-fraction
+        policy waits a fixed share of the deadline; but when a live
+        target's φ has meanwhile climbed past ``phi_hedge`` — or the
+        target has been latched or quarantined outright — the dispatch
+        raced a gray fault the detector has since noticed, and waiting
+        out the rest of the checkpoint only converts a salvageable read
+        into a deadline race.  Re-dispatch immediately instead.  A read
+        still unanswered this late with a *healthy* live set is left to
+        the ordinary checkpoint, so the hedge stays evidence-driven.
+        """
+        pending = self._pending.get(request_id)
+        if pending is None or pending.completed or self.detector is None:
+            return
+        if not pending.live:
+            return  # the overload/failover paths own empty-live re-dispatch
+        cfg = self.detector.config
+        now = self.now
+        if not any(
+            self.detector.is_suspected(target, now)
+            or self.detector.phi(target, now) >= cfg.phi_hedge
+            for target in pending.live
+        ):
+            return
+        if self._retry_dispatch(pending, reason="suspicion"):
+            # The hedge is budget-neutral: it must not consume the
+            # policy's retry allowance, or a hedge aimed at a second
+            # gray replica would leave the ordinary checkpoint with no
+            # retry left and convert a salvageable read into a deadline
+            # miss.
+            pending.retries -= 1
+            self._m_detector_hedges.inc()
+
     def _retry_checkpoint(self, request_id: int) -> None:
         """Periodic no-reply checkpoint while a read is in flight."""
         pending = self._pending.get(request_id)
@@ -975,9 +1106,22 @@ class ClientHandler(GroupEndpoint):
             return False
         # Replicas actively backing us off (OverloadReply.retry_after) are
         # never retried before their back-off elapses.
-        target = self._next_best_replica(
-            pending.qos, pending.tried | self._backed_off(), remaining
-        )
+        exclude = pending.tried | self._backed_off()
+        target = None
+        if self.detector is not None:
+            # Route the retry around suspects too — a retry exists
+            # because the first dispatch is already in trouble, so
+            # aiming it at a peer the detector has since latched would
+            # burn the remaining deadline budget on a second gray
+            # replica.  Advisory only: if no unsuspected candidate
+            # remains, fall through to the unfiltered set.
+            suspects = self.detector.under_suspicion(self.now)
+            if suspects:
+                target = self._next_best_replica(
+                    pending.qos, exclude | suspects, remaining
+                )
+        if target is None:
+            target = self._next_best_replica(pending.qos, exclude, remaining)
         if target is None:
             return False
         pending.retries += 1
@@ -1025,12 +1169,21 @@ class ClientHandler(GroupEndpoint):
     def on_view_change(self, view: "View", previous: Optional["View"]) -> None:
         """Evictions of every live selected replica trigger an immediate
         re-dispatch instead of waiting for the no-reply checkpoint."""
-        if self.retry_policy is None or previous is None:
+        if previous is None:
             return
         if view.group not in (self.groups.primary, self.groups.secondary):
             return
         gone = set(previous.members) - set(view.members)
         if not gone:
+            return
+        if self.detector is not None:
+            # Departed peers produce no more arrivals; keeping their φ
+            # state would pin them suspected forever.  Crash-style
+            # eviction belongs to the membership service — the detector
+            # only tracks peers that can still come back gray.
+            for peer in gone:
+                self.detector.forget(peer)
+        if self.retry_policy is None:
             return
         for pending in list(self._pending.values()):
             if pending.request.kind is not RequestKind.READ:
@@ -1056,7 +1209,16 @@ class ClientHandler(GroupEndpoint):
             "reads_shed": self.reads_shed,
             "degradation_steps_down": self._m_steps_down.value,
             "degradation_steps_up": self._m_steps_up.value,
+            "detector_ejections": self._m_detector_ejections.value,
+            "detector_hedges": self._m_detector_hedges.value,
+            "detector_probes": self._m_detector_probes.value,
         }
+
+    def detector_stats(self) -> dict:
+        """φ-accrual detector summary ({} when the detector is off)."""
+        if self.detector is None:
+            return {}
+        return self.detector.stats()
 
     def _check_violation(self, qos: Optional[QoSSpec]) -> None:
         if qos is None or self.on_qos_violation is None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Optional
 
+from repro.core.detector import DetectorConfig, PhiAccrualDetector
 from repro.core.overload import OverloadConfig
 from repro.core.replica import PendingRequest, ReplicaHandlerBase, ServiceGroups
 from repro.core.requests import (
@@ -36,6 +37,7 @@ from repro.core.requests import (
     GsnQuery,
     GsnSkip,
     LazyUpdate,
+    PublisherSuspicion,
     Request,
     RequestKind,
     SequencerSyncReply,
@@ -78,6 +80,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         rto: float = 0.05,
         metrics: Optional[MetricsRegistry] = None,
         overload: Optional[OverloadConfig] = None,
+        detector: Optional[DetectorConfig] = None,
     ) -> None:
         super().__init__(
             name,
@@ -157,6 +160,26 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         self._gap_stuck_csn: Optional[int] = None
         self._gap_watch_event = None
 
+        # Gray-failure detection (DESIGN.md §14), default-off.  Two
+        # pseudo-peers are tracked: "gsn-assign" (sequencer progress, for
+        # the adaptive commit-gap watchdog) and "lazy-publisher" (lazy
+        # propagation cadence, for slow-publisher reassignment).
+        self.detector: Optional[PhiAccrualDetector] = (
+            None
+            if detector is None
+            else PhiAccrualDetector(
+                detector, owner=name, metrics=self.metrics, trace=trace
+            )
+        )
+        self._publisher_override: Optional[str] = None
+        self._suspected_publisher: Optional[str] = None
+        self._m_publisher_suspicions = self._counter(
+            "replica_publisher_suspicions"
+        )
+        self._m_publisher_reassignments = self._counter(
+            "replica_publisher_reassignments"
+        )
+
     # ------------------------------------------------------------------
     # Registry-backed counters under their historical names
     # ------------------------------------------------------------------
@@ -197,9 +220,15 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
 
         The sequencer (rank 0) does not serve requests, so it cannot be
         the publisher; rank order makes the designation deterministic and
-        view changes re-designate automatically.
+        view changes re-designate automatically.  A slow-publisher
+        reassignment (detector-driven, DESIGN.md §14) overrides the rank
+        designation until the next primary view change.
         """
         members = self.primary_view.members
+        if self._publisher_override is not None:
+            if self._publisher_override in members:
+                return self._publisher_override
+            self._publisher_override = None
         if len(members) >= 2:
             return members[1]
         return members[0] if members else None
@@ -225,6 +254,8 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         # commit hole can open without a crash on *this* replica (lossy
         # links or a partition can exhaust a sender's retry budget).
         self._arm_gap_watchdog()
+        if self.detector is not None:
+            self.sim.schedule(self._publisher_check_interval(), self._publisher_check)
         if self.lazy_controller is not None:
             # The tuning loop runs on its own (faster) cadence so the
             # controller reacts to load changes even while the publish
@@ -286,6 +317,8 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             self._on_state_transfer_snapshot(payload)
         elif isinstance(payload, GsnSkip):
             self._on_skip(payload)
+        elif isinstance(payload, PublisherSuspicion):
+            self._on_publisher_suspicion(payload)
         else:
             self.trace.emit(
                 self.now, "replica.unknown-payload", self.name, kind=type(payload).__name__
@@ -396,6 +429,11 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
                 self._update_assignments.popitem(last=False)
 
     def _on_assign(self, assign: GsnAssign) -> None:
+        if self.detector is not None:
+            # Sequencer progress signal: GSN broadcasts arrive at the
+            # request rate, so their inter-arrival statistics size the
+            # commit-gap watchdog (see _gap_delay).
+            self.detector.record("gsn-assign", self.now)
         if assign.advances and assign.request_id in self._recent_commits:
             return  # already committed; a failover re-broadcast
         previous = self._assignments.get(assign.request_id)
@@ -553,6 +591,9 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
     def _on_lazy_update(self, update: LazyUpdate) -> None:
         if not self.is_secondary:
             return
+        if self.detector is not None:
+            self.detector.record("lazy-publisher", self.now)
+            self._suspected_publisher = None
         if update.csn > self.my_csn:
             self.app.restore(update.snapshot)
             self.my_csn = update.csn
@@ -640,6 +681,9 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
     def on_view_change(self, view: View, previous: Optional[View]) -> None:
         if view.group != self.groups.primary:
             return
+        # Membership changed: drop any gray-publisher override and fall
+        # back to the rank designation of the new view.
+        self._publisher_override = None
         if view.leader == self.name and not self._sequencer_active:
             self._sequencer_active = True
             if previous is not None and len(previous) > len(view):
@@ -926,8 +970,22 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             self._gap_watch_event.cancel()
         self._gap_stuck_csn = None
         self._gap_watch_event = self.sim.schedule(
-            2 * self.sync_timeout, self._gap_check
+            self._gap_delay(), self._gap_check
         )
+
+    def _gap_delay(self) -> float:
+        """Watchdog period: fixed ``2·sync_timeout``, or adaptive.
+
+        With the detector enabled the period follows the observed
+        GSN-broadcast cadence (mean + k·σ of inter-arrival times,
+        clamped around the fixed fallback), so a busy system notices a
+        frozen commit frontier in a fraction of the fixed window while
+        an idle one does not cry wolf between sparse updates.
+        """
+        fallback = 2 * self.sync_timeout
+        if self.detector is None:
+            return fallback
+        return self.detector.adaptive_timeout("gsn-assign", fallback)
 
     def _gap_check(self) -> None:
         self._gap_watch_event = None
@@ -953,5 +1011,74 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             return
         self._gap_stuck_csn = self.my_csn if blocked else None
         self._gap_watch_event = self.sim.schedule(
-            2 * self.sync_timeout, self._gap_check
+            self._gap_delay(), self._gap_check
+        )
+
+    # ------------------------------------------------------------------
+    # Slow-publisher detection and reassignment (DESIGN.md §14)
+    # ------------------------------------------------------------------
+    def _publisher_check_interval(self) -> float:
+        # Check a few times per expected lazy interval so a gray
+        # publisher is reported within one or two missed propagations.
+        return max(self.lazy_update_interval / 2, 0.05)
+
+    def _publisher_check(self) -> None:
+        """Secondary-side watchdog over the lazy publisher's cadence.
+
+        A crashed publisher is handled by view changes; this catches the
+        *gray* one — alive in the view but propagating so slowly that
+        every deferred read on the secondary tier stalls.  Each secondary
+        reports once per suspicion episode; the primaries converge on the
+        same replacement deterministically, so no coordination round is
+        needed.
+        """
+        if self.network is None or self.detector is None:
+            return
+        if self.up and self.is_secondary:
+            publisher = self.lazy_publisher_name
+            self.detector.suspicion_check("lazy-publisher", self.now)
+            if publisher is not None and self.detector.is_suspected(
+                "lazy-publisher"
+            ):
+                if self._suspected_publisher != publisher:
+                    self._suspected_publisher = publisher
+                    self._m_publisher_suspicions.inc()
+                    self.trace.emit(
+                        self.now, "replica.publisher-suspect", self.name,
+                        publisher=publisher,
+                    )
+                    self.gmcast(
+                        self.groups.primary,
+                        PublisherSuspicion(suspect=publisher, reporter=self.name),
+                        size_bytes=64,
+                    )
+            elif not self.detector.is_suspected("lazy-publisher"):
+                self._suspected_publisher = None
+        self.sim.schedule(self._publisher_check_interval(), self._publisher_check)
+
+    def _on_publisher_suspicion(self, sus: PublisherSuspicion) -> None:
+        """Primary-side handling of a secondary's gray-publisher report.
+
+        Every primary applies the same pure function of (current view,
+        suspect) — the first serving member that is neither the sequencer
+        nor the suspect — so the group agrees on the new publisher
+        without a coordination round.  The override lasts until the next
+        primary view change re-derives the rank designation.
+        """
+        if not self.is_primary:
+            return
+        if sus.suspect != self.lazy_publisher_name:
+            return  # stale report; the role already moved
+        members = self.primary_view.members
+        leader = self.primary_view.leader
+        replacement = next(
+            (m for m in members if m != leader and m != sus.suspect), None
+        )
+        if replacement is None or replacement == self.lazy_publisher_name:
+            return
+        self._publisher_override = replacement
+        self._m_publisher_reassignments.inc()
+        self.trace.emit(
+            self.now, "replica.publisher-reassign", self.name,
+            suspect=sus.suspect, publisher=replacement, reporter=sus.reporter,
         )

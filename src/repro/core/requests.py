@@ -174,6 +174,23 @@ class LazyUpdate:
     snapshot: Any
 
 
+@dataclass(frozen=True, slots=True)
+class PublisherSuspicion:
+    """A secondary's report that the lazy publisher has gone gray.
+
+    Secondaries run a φ-accrual detector over lazy-update inter-arrival
+    times (DESIGN.md §14); when φ crosses the suspect threshold the
+    secondary multicasts this to the primary group, which deterministically
+    designates the next ranked serving primary as publisher.  Not in the
+    paper — its publisher is fixed by view rank and only a crash (view
+    change) moves the role, so an alive-but-slow publisher would starve
+    the secondary tier indefinitely.
+    """
+
+    suspect: str
+    reporter: str
+
+
 # ---------------------------------------------------------------------------
 # Online performance monitoring (§5.4)
 # ---------------------------------------------------------------------------

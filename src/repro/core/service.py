@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.client import ClientHandler, RetryPolicy
+from repro.core.detector import DetectorConfig
 from repro.core.handlers.fifo import FifoReplicaHandler
 from repro.core.handlers.sequential import SequentialReplicaHandler
 from repro.core.overload import DegradationPolicy, OverloadConfig
@@ -76,6 +77,11 @@ class ServiceConfig:
     # shedding, bounded queues, and deferred-read expiry entirely — the
     # service behaves bit-identically to builds that predate the feature.
     overload: Optional[OverloadConfig] = None
+    # φ-accrual gray-failure detection (DESIGN.md §14).  None (the
+    # default) disables suspicion-driven ejection, hedging, probing, the
+    # adaptive commit-gap watchdog, and slow-publisher reassignment —
+    # again bit-identical to detector-free builds.
+    detector: Optional[DetectorConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_primaries < 1:
@@ -157,6 +163,7 @@ class ReplicatedService:
         handler_cls = replica_handler_for(cfg.ordering)
         if handler_cls is SequentialReplicaHandler:
             common["gsn_wait_timeout"] = cfg.gsn_wait_timeout
+            common["detector"] = cfg.detector
             if cfg.adaptive_lazy_target is not None:
                 from repro.core.tuning import AdaptiveLazyController
 
@@ -354,6 +361,7 @@ class ReplicatedService:
             on_qos_violation=on_qos_violation,
             degradation=degradation,
             priority=priority,
+            detector=cfg.detector,
             trace=self.trace,
             heartbeat_interval=cfg.heartbeat_interval,
             rto=cfg.rto,

@@ -1,0 +1,556 @@
+"""Gray-failure campaigns: φ-accrual detection vs. fixed timeouts.
+
+Drives seeded *gray* fault storms — slow nodes, flapping links, one-way
+partitions, duplication churn (:mod:`repro.net.chaos`) — through two
+configurations of the same testbed:
+
+* **detector** — clients and replicas carry a
+  :class:`~repro.core.detector.DetectorConfig`: suspicion-weighted
+  candidate ejection before Algorithm-1, suspicion-triggered hedging,
+  probe-based re-admission, the adaptive commit-gap watchdog, and
+  slow-publisher reassignment;
+* **baseline** — the pre-detector runtime: fixed timeouts everywhere,
+  replicas are only ever *crashed or fine*.
+
+Each detector cell is audited against the gray invariants (DESIGN.md §14):
+
+* **no permanent ejection** — after the campaign heals and the drain
+  window passes, no peer is still suspected: probes re-admitted every
+  ejected replica;
+* **bounded false positives** — joining the client's suspicion
+  transitions against the chaos engine's ground-truth
+  :class:`~repro.net.chaos.GrayFault` schedule
+  (:func:`repro.obs.detection.score_detection`), at most half of all
+  suspect edges may lack a covering fault window;
+* **the detector actually fired** — at least one gray fault hit a
+  serving replica and at least one suspicion was raised (otherwise the
+  comparison below is vacuous);
+* **accounting** — every issued read was judged; nothing is silently
+  dropped.
+
+Across the suite, the acceptance comparison: pooled read p99 effective
+latency must be strictly better with the detector than without, and the
+SLA satisfaction rate (reads meeting their deadline) must be no worse —
+routing around an alive-but-slow replica is the whole point.
+
+``python -m repro.experiments.gray --check`` (or ``repro gray``) exits
+non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.client import RetryPolicy
+from repro.core.detector import DetectorConfig
+from repro.core.qos import QoSSpec
+from repro.core.service import ServiceConfig, build_testbed
+from repro.experiments.overload import effective_latency, percentile
+from repro.experiments.report import format_table, render_report, save_results
+from repro.experiments.runner import CellSpec, run_cells
+from repro.groups.membership import MembershipConfig
+from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
+from repro.obs.detection import DetectionReport, score_detection
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.rng import Normal, seed_for
+from repro.sim.tracing import Trace
+from repro.workloads.generators import OpenLoopUpdater, PeriodicReader
+
+#: The audited reader: moderate staleness, tight deadline — the client
+#: whose p99 the detector must defend.
+READ_QOS = QoSSpec(staleness_threshold=10, deadline=0.25, min_probability=0.9)
+
+#: Detection tuning used by the detector cells.  Spelled out rather than
+#: defaulted so the experiment is reproducible against config drift.
+DETECTOR_CONFIG = DetectorConfig(
+    window_size=48,
+    phi_suspect=8.0,
+    phi_hedge=4.0,
+    min_samples=6,
+    min_std=0.005,
+    probe_interval=0.3,
+    min_eject_keep=1,
+    watchdog_multiplier=6.0,
+)
+
+#: Suspicions raised this long (seconds) after a fault healed are still
+#: attributed to it — the evidence (a missing arrival) trails the fault.
+SCORING_GRACE = 1.0
+
+WARMUP = 2.0
+DRAIN_GRACE = 5.0
+
+
+def gray_chaos_config(duration: float) -> ChaosConfig:
+    """A gray-only fault mix: no crashes, no symmetric partitions.
+
+    ``slow_jitter`` is pushed well above the defaults so a slow node
+    actually blows the 0.25 s read deadline (per-message jitter up to
+    0.25 s on both the request and the reply leg).
+    """
+    return ChaosConfig(
+        duration=duration,
+        mean_interval=0.8,
+        crash_weight=0.0,
+        partition_weight=0.0,
+        overload_weight=0.0,
+        loss_weight=0.0,
+        slow_node_weight=4.0,
+        flapping_link_weight=1.5,
+        oneway_partition_weight=1.0,
+        dup_storm_weight=1.0,
+        slow_window=(1.5, 3.5),
+        slow_factor=(3.0, 8.0),
+        slow_jitter=(0.08, 0.25),
+        flap_window=(1.0, 2.5),
+        flap_period=(0.1, 0.3),
+        dup_window=(0.5, 2.0),
+        dup_probability=(0.1, 0.35),
+    )
+
+
+@dataclass
+class GrayCellResult:
+    """Outcome of one (seed, mode) campaign cell."""
+
+    seed: int
+    mode: str  # "detector" | "baseline"
+    duration: float
+    violations: list[str]
+    gray_faults: int
+    faults_by_kind: dict[str, int]
+    reads_issued: int
+    reads_resolved: int
+    timing_failures: int
+    latencies: list[float]  # effective latency per read
+    detector_ejections: int
+    detector_hedges: int
+    detector_probes: int
+    suspects_total: int
+    clears_total: int
+    still_suspected: list[str]
+    detection: Optional[dict] = None  # DetectionReport.to_dict(), detector mode
+    events: list[str] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 0.99)
+
+    @property
+    def sla_rate(self) -> float:
+        """Fraction of issued reads that met their deadline."""
+        if not self.reads_issued:
+            return 1.0
+        return 1.0 - self.timing_failures / self.reads_issued
+
+
+def run_gray_cell(
+    seed: int,
+    mode: str,
+    duration: float = 14.0,
+    trace_dir: Optional[str] = None,
+) -> GrayCellResult:
+    """Run one seeded gray-fault campaign in ``detector`` or ``baseline``
+    mode.
+
+    The chaos schedule is a pure function of the seed: the engine draws
+    from its own ``chaos.engine`` stream and no gray fault consults
+    protocol state, so both modes of a seed face the identical storm.
+    """
+    if mode not in ("detector", "baseline"):
+        raise ValueError(f"unknown mode {mode!r}")
+    detecting = mode == "detector"
+    trace = Trace(enabled=True)
+    metrics = MetricsRegistry()
+    config = ServiceConfig(
+        name="svc",
+        num_primaries=3,
+        num_secondaries=3,
+        lazy_update_interval=0.3,
+        read_service_time=Normal(0.020, 0.005, floor=0.002),
+        heartbeat_interval=0.1,
+        suspect_timeout=0.35,
+        gsn_wait_timeout=0.15,
+        gc_timeout=4.0,
+        detector=DETECTOR_CONFIG if detecting else None,
+    )
+    testbed = build_testbed(
+        config,
+        seed=seed,
+        trace=trace,
+        metrics=metrics,
+        membership_config=MembershipConfig(
+            heartbeat_interval=0.1, suspect_timeout=0.35, sweep_interval=0.1
+        ),
+    )
+    sim, service, network = testbed.sim, testbed.service, testbed.network
+
+    feed = service.create_client("feed", read_only_methods={"get"})
+    reader_client = service.create_client(
+        "app",
+        read_only_methods={"get"},
+        retry_policy=RetryPolicy(max_retries=1, hedge=True),
+    )
+
+    span = WARMUP + duration + DRAIN_GRACE / 2
+    updater = OpenLoopUpdater(sim, feed, testbed.rng, rate=2.0, duration=span)
+    reader = PeriodicReader(sim, reader_client, READ_QOS, period=0.03, duration=span)
+
+    serving = tuple(p.name for p in service.primaries) + tuple(
+        s.name for s in service.secondaries
+    )
+    engine = ChaosEngine(
+        network,
+        ChaosTargets(
+            primaries=tuple(p.name for p in service.primaries),
+            secondaries=tuple(s.name for s in service.secondaries),
+            protected=(service.primaries[0].name,),
+        ),
+        gray_chaos_config(duration),
+        rng=testbed.rng.stream("chaos.engine"),
+        trace=trace,
+        metrics=metrics,
+    )
+
+    sim.run(until=WARMUP)
+    engine.start()
+    sim.run(until=WARMUP + duration + DRAIN_GRACE)
+
+    recovery = reader_client.recovery_stats()
+    detector = reader_client.detector
+    detection: Optional[DetectionReport] = None
+    if detector is not None:
+        detection = score_detection(
+            detector.transitions,
+            engine.gray_schedule,
+            observable=set(serving),
+            grace=SCORING_GRACE,
+        )
+
+    violations = (
+        _check_gray_invariants(reader_client, engine, detection, set(serving))
+        if detecting
+        else []
+    )
+
+    by_kind: dict[str, int] = {}
+    for fault in engine.gray_schedule:
+        by_kind[fault.kind] = by_kind.get(fault.kind, 0) + 1
+
+    result = GrayCellResult(
+        seed=seed,
+        mode=mode,
+        duration=duration,
+        violations=violations,
+        gray_faults=len(engine.gray_schedule),
+        faults_by_kind=by_kind,
+        reads_issued=reader.issued,
+        reads_resolved=sum(1 for o in reader.outcomes if o.value is not None),
+        timing_failures=sum(1 for o in reader.outcomes if o.timing_failure),
+        latencies=[
+            effective_latency(o, READ_QOS.deadline) for o in reader.outcomes
+        ],
+        detector_ejections=recovery.get("detector_ejections", 0),
+        detector_hedges=recovery.get("detector_hedges", 0),
+        detector_probes=recovery.get("detector_probes", 0),
+        suspects_total=(
+            0 if detector is None else detector.stats()["suspects_total"]
+        ),
+        clears_total=(
+            0 if detector is None else detector.stats()["clears_total"]
+        ),
+        still_suspected=[] if detector is None else detector.suspected(),
+        detection=None if detection is None else detection.to_dict(),
+        events=[f"t={e.time:.3f} {e.kind} {e.target}" for e in engine.events],
+        metrics=metrics.snapshot(),
+    )
+    if result.violations and trace_dir is not None:
+        directory = Path(trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"gray-seed{seed}-{mode}.trace"
+        with path.open("w") as fh:
+            for line in result.violations:
+                fh.write(f"VIOLATION {line}\n")
+            for line in result.events:
+                fh.write(f"EVENT {line}\n")
+            for record in trace.records:
+                fh.write(
+                    f"{record.time:.6f} {record.category} "
+                    f"{record.actor} {record.detail}\n"
+                )
+        (directory / f"gray-seed{seed}-{mode}.jsonl").write_text(
+            trace.to_jsonl()
+        )
+    return result
+
+
+def _check_gray_invariants(
+    client, engine: ChaosEngine, detection: Optional[DetectionReport],
+    serving: set[str],
+) -> list[str]:
+    violations: list[str] = []
+    detector = client.detector
+    assert detector is not None and detection is not None
+
+    # The storm must be real: gray faults on serving replicas, and the
+    # detector must have reacted to at least one of them.
+    observable = [f for f in engine.gray_schedule if f.target in serving]
+    if not observable:
+        violations.append("storm: no gray fault hit a serving replica")
+    elif detector.stats()["suspects_total"] == 0:
+        violations.append("detector-idle: gray faults injected, zero suspicions")
+
+    # No permanent ejection: the campaign healed everything, the drain
+    # window passed, so probes must have re-admitted every suspect.
+    stuck = detector.suspected()
+    if stuck:
+        violations.append(
+            f"permanent-ejection: still suspected after heal+drain: {stuck}"
+        )
+
+    # Bounded false positives against the ground-truth schedule.
+    if detection.suspect_edges and detection.false_positive_rate > 0.5:
+        violations.append(
+            f"false-positives: {detection.false_positives}/"
+            f"{detection.suspect_edges} suspect edges "
+            f"({detection.false_positive_rate:.0%}) lack a covering fault"
+        )
+
+    # Every issued read was judged: nothing is silently dropped.
+    if client.reads_issued != client.reads_judged:
+        violations.append(
+            f"accounting: issued {client.reads_issued} reads "
+            f"but judged {client.reads_judged}"
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Suite harness + CLI
+# ---------------------------------------------------------------------------
+def run_gray_suite(
+    seeds: list[int],
+    duration: float = 14.0,
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+) -> list[GrayCellResult]:
+    """Both modes for every seed; results ordered seed-major."""
+    specs = [
+        CellSpec(
+            (seed, mode),
+            run_gray_cell,
+            {
+                "seed": seed,
+                "mode": mode,
+                "duration": duration,
+                "trace_dir": trace_dir,
+            },
+        )
+        for seed in seeds
+        for mode in ("detector", "baseline")
+    ]
+    return run_cells(specs, jobs=jobs, progress=True, label="gray")
+
+
+def suite_violations(results: list[GrayCellResult]) -> list[str]:
+    """Cell-level violations plus the cross-mode acceptance checks."""
+    violations = [
+        f"seed {r.seed} [{r.mode}]: {v}" for r in results for v in r.violations
+    ]
+    det = [x for r in results if r.mode == "detector" for x in r.latencies]
+    base = [x for r in results if r.mode == "baseline" for x in r.latencies]
+    if det and base:
+        det_p99 = percentile(det, 0.99)
+        base_p99 = percentile(base, 0.99)
+        if not det_p99 < base_p99:
+            violations.append(
+                f"p99: read effective latency with the detector "
+                f"({det_p99:.4f}s) is not better than baseline "
+                f"({base_p99:.4f}s)"
+            )
+    det_cells = [r for r in results if r.mode == "detector"]
+    base_cells = [r for r in results if r.mode == "baseline"]
+    if det_cells and base_cells:
+        det_sla = _pooled_sla(det_cells)
+        base_sla = _pooled_sla(base_cells)
+        if det_sla < base_sla:
+            violations.append(
+                f"sla: satisfaction with the detector ({det_sla:.2%}) "
+                f"is worse than baseline ({base_sla:.2%})"
+            )
+    return violations
+
+
+def _pooled_sla(cells: list[GrayCellResult]) -> float:
+    issued = sum(r.reads_issued for r in cells)
+    late = sum(r.timing_failures for r in cells)
+    if not issued:
+        return 1.0
+    return 1.0 - late / issued
+
+
+def summarize(results: list[GrayCellResult]) -> str:
+    rows = []
+    for r in results:
+        ttd = None if r.detection is None else r.detection["mean_time_to_detect"]
+        rows.append(
+            [
+                r.seed,
+                r.mode,
+                r.gray_faults,
+                r.reads_issued,
+                f"{r.p99:.4f}",
+                f"{r.sla_rate:.2%}",
+                r.timing_failures,
+                f"{r.detector_ejections}/{r.detector_hedges}/{r.detector_probes}",
+                "-" if ttd is None else f"{ttd:.3f}",
+                (
+                    "-" if r.detection is None
+                    else f"{r.detection['false_positive_rate']:.0%}"
+                ),
+                "CLEAN" if r.clean else f"{len(r.violations)} VIOLATIONS",
+            ]
+        )
+    table = format_table(
+        [
+            "seed", "mode", "faults", "reads", "p99", "sla", "late",
+            "eject/hedge/probe", "ttd", "fp", "verdict",
+        ],
+        rows,
+        title="gray-failure campaign (detector vs. baseline)",
+    )
+    merged = MetricsRegistry.merge(
+        *(r.metrics for r in results if r.mode == "detector" and r.metrics)
+    )
+    return (
+        table
+        + "\n\n"
+        + render_report(metrics=merged, title="detector-cell telemetry")
+    )
+
+
+def write_metrics_artifact(
+    path: str, results: list[GrayCellResult], seeds: list[int]
+) -> None:
+    """JSONL artifact: one record per cell plus the pooled comparison."""
+    from repro.obs.export import write_jsonl
+
+    records: list[dict] = [
+        {"event": "meta", "experiment": "gray", "seeds": seeds}
+    ]
+    for r in results:
+        records.append(
+            {
+                "event": "cell",
+                "seed": r.seed,
+                "mode": r.mode,
+                "gray_faults": r.gray_faults,
+                "faults_by_kind": r.faults_by_kind,
+                "reads_issued": r.reads_issued,
+                "timing_failures": r.timing_failures,
+                "p99": r.p99,
+                "sla_rate": r.sla_rate,
+                "detector_ejections": r.detector_ejections,
+                "detector_hedges": r.detector_hedges,
+                "detector_probes": r.detector_probes,
+                "suspects_total": r.suspects_total,
+                "clears_total": r.clears_total,
+                "still_suspected": r.still_suspected,
+                "detection": r.detection,
+                "violations": r.violations,
+            }
+        )
+    for mode in ("detector", "baseline"):
+        cells = [r for r in results if r.mode == mode]
+        pooled = [x for r in cells for x in r.latencies]
+        records.append(
+            {
+                "event": "pooled",
+                "mode": mode,
+                "p99": percentile(pooled, 0.99),
+                "sla_rate": _pooled_sla(cells),
+                "samples": len(pooled),
+            }
+        )
+    write_jsonl(path, records)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=5, help="campaigns per mode")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--duration", type=float, default=14.0)
+    parser.add_argument("--quick", action="store_true", help="2 seeds x 8s")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on any invariant or acceptance violation",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--save", type=str, default=None)
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, help="write telemetry as JSONL"
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=str,
+        default=None,
+        help="dump the full trace of any violating cell here",
+    )
+    args = parser.parse_args(argv)
+
+    count = 2 if args.quick else args.seeds
+    duration = 8.0 if args.quick else args.duration
+    seeds = [seed_for(args.seed, "gray", i) for i in range(count)]
+    results = run_gray_suite(
+        seeds, duration=duration, jobs=args.jobs, trace_dir=args.trace_dir
+    )
+    print(summarize(results))
+
+    det_cells = [r for r in results if r.mode == "detector"]
+    base_cells = [r for r in results if r.mode == "baseline"]
+    if det_cells and base_cells:
+        det_lat = [x for r in det_cells for x in r.latencies]
+        base_lat = [x for r in base_cells for x in r.latencies]
+        print(
+            f"pooled: detector p99={percentile(det_lat, 0.99):.4f}s "
+            f"sla={_pooled_sla(det_cells):.2%} | baseline "
+            f"p99={percentile(base_lat, 0.99):.4f}s "
+            f"sla={_pooled_sla(base_cells):.2%}"
+        )
+
+    violations = suite_violations(results)
+    for line in violations:
+        print(f"VIOLATION {line}", file=sys.stderr)
+
+    if args.save:
+        save_results(
+            args.save,
+            [r.__dict__ for r in results],
+            meta={
+                "experiment": "gray",
+                "seeds": seeds,
+                "duration": duration,
+                "violations": violations,
+            },
+        )
+    if args.metrics_out:
+        write_metrics_artifact(args.metrics_out, results, seeds)
+        print(f"telemetry written to {args.metrics_out}")
+
+    if args.check and violations:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

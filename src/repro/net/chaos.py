@@ -19,14 +19,34 @@ Safety constraints keep campaigns *survivable* rather than merely random:
   the invariant-checking ground truth alive);
 * at most ``max_concurrent_down`` endpoints are crashed at once;
 * a crash is skipped when it would leave no live serving primary;
-* one partition and one loss window at a time (the fabric heals
-  partitions wholesale, so overlapping cuts cannot be unwound safely).
+* at most ``max_concurrent_partitions`` cuts at once (each cut is a
+  *named* fabric partition and heals individually, so overlapping cuts
+  unwind safely); loss windows may overlap freely — the effective drop
+  probability is the max of the active windows.
+
+Beyond the binary faults, a *gray* family models the paper's timing
+failures — replicas that stay alive but miss deadlines:
+
+* ``slow_node`` — degrade every link to/from a victim (latency × factor
+  plus added jitter);
+* ``flapping_link`` — periodically cut and restore a victim's
+  connectivity inside one fault window;
+* ``oneway_partition`` — an asymmetric cut: the minority's outbound (or
+  inbound, coin-flip) traffic is dropped while the reverse flows;
+* ``dup_storm`` — duplication/reordering churn on a victim's links.
+
+Every gray injection appends a ground-truth :class:`GrayFault`
+(target, start, end, severity) to :attr:`ChaosEngine.gray_schedule`, the
+join key for the detection-quality scorer in :mod:`repro.obs.detection`.
+All gray weights default to 0.0 so existing campaigns keep their exact
+fault schedules.
 
 At ``duration`` the engine stops injecting and heals the world: active
-partitions are cleared, the loss probability is restored, and every
-endpoint it crashed is recovered through the repair callback.  Everything
-is recorded in :attr:`ChaosEngine.events` and traced as ``chaos.*`` for
-the invariant checkers in :mod:`repro.experiments.chaos`.
+cuts are cleared, degradations and churn removed, the loss probability
+restored, and every endpoint it crashed is recovered through the repair
+callback.  Everything is recorded in :attr:`ChaosEngine.events` and
+traced as ``chaos.*`` for the invariant checkers in
+:mod:`repro.experiments.chaos`.
 """
 
 from __future__ import annotations
@@ -35,7 +55,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.net.network import Network
+from repro.net.network import LinkChurn, Network
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.tracing import NULL_TRACE, Trace
 
@@ -79,7 +99,15 @@ class ChaosConfig:
     # generators (see ChaosEngine's ``rate_controller``); default-off so
     # existing campaigns keep their exact fault schedules.
     load_storm_weight: float = 0.0
+    # Gray-fault family (timing failures): all default-off for the same
+    # reason — a zero weight never enters the choice distribution, so
+    # existing seeds replay bit-identically.
+    slow_node_weight: float = 0.0
+    flapping_link_weight: float = 0.0
+    oneway_partition_weight: float = 0.0
+    dup_storm_weight: float = 0.0
     max_concurrent_down: int = 2
+    max_concurrent_partitions: int = 2
     downtime: tuple[float, float] = (0.8, 3.0)
     partition_window: tuple[float, float] = (0.5, 2.0)
     overload_window: tuple[float, float] = (0.5, 2.0)
@@ -88,6 +116,13 @@ class ChaosConfig:
     loss_probability: tuple[float, float] = (0.02, 0.15)
     storm_window: tuple[float, float] = (1.0, 3.0)
     storm_factor: tuple[float, float] = (3.0, 10.0)
+    slow_window: tuple[float, float] = (1.0, 3.0)
+    slow_factor: tuple[float, float] = (2.0, 6.0)
+    slow_jitter: tuple[float, float] = (0.01, 0.05)
+    flap_window: tuple[float, float] = (1.0, 2.5)
+    flap_period: tuple[float, float] = (0.08, 0.3)
+    dup_window: tuple[float, float] = (0.5, 2.0)
+    dup_probability: tuple[float, float] = (0.1, 0.4)
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -96,6 +131,8 @@ class ChaosConfig:
             raise ValueError("mean_interval must be positive")
         if self.max_concurrent_down < 1:
             raise ValueError("max_concurrent_down must be >= 1")
+        if self.max_concurrent_partitions < 1:
+            raise ValueError("max_concurrent_partitions must be >= 1")
         for name in (
             "crash_weight",
             "partition_weight",
@@ -103,6 +140,10 @@ class ChaosConfig:
             "loss_weight",
             "membership_outage_weight",
             "load_storm_weight",
+            "slow_node_weight",
+            "flapping_link_weight",
+            "oneway_partition_weight",
+            "dup_storm_weight",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
@@ -115,10 +156,26 @@ class ChaosConfig:
             "loss_probability",
             "storm_window",
             "storm_factor",
+            "slow_window",
+            "slow_factor",
+            "slow_jitter",
+            "flap_window",
+            "flap_period",
+            "dup_window",
+            "dup_probability",
         ):
             low, high = getattr(self, name)
             if low <= 0 or high < low:
                 raise ValueError(f"invalid {name} range [{low}, {high}]")
+        low, high = self.dup_probability
+        if high > 1.0:
+            raise ValueError(f"dup_probability upper bound {high} exceeds 1")
+        if self.slow_factor[0] < 1.0:
+            # A factor below 1 would *speed up* the victim; degrade_node
+            # rejects it, so fail at config time instead of mid-campaign.
+            raise ValueError(
+                f"slow_factor lower bound {self.slow_factor[0]} below 1"
+            )
 
 
 @dataclass
@@ -130,6 +187,34 @@ class ChaosEvent:
     target: str
     until: Optional[float] = None
     detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class GrayFault:
+    """Ground truth for one gray fault: who was degraded, when, how hard.
+
+    ``end`` starts as the *planned* heal time and is clamped to the
+    actual heal time if the campaign ends early.  ``severity`` is
+    kind-specific: the latency factor for ``slow_node``, the flap period
+    for ``flapping_link``, 1.0 for ``oneway_partition``, the duplication
+    probability for ``dup_storm``.  The detection scorer joins suspicion
+    transitions against these records by ``target`` and time window.
+    """
+
+    kind: str
+    target: str
+    start: float
+    end: float
+    severity: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6),
+            "severity": round(self.severity, 4),
+        }
 
 
 class ChaosEngine:
@@ -157,10 +242,16 @@ class ChaosEngine:
         # import the workload generators; see ArrivalRateController.
         self.rate_controller = rate_controller
         self.events: list[ChaosEvent] = []
+        self.gray_schedule: list[GrayFault] = []
         self._down: set[str] = set()
-        self._partition_active = False
-        self._loss_active = False
+        self._cuts: set[str] = set()
+        self._loss_windows: dict[int, float] = {}
+        self._loss_token = 0
         self._storm_active = False
+        self._degraded: set[str] = set()
+        self._flapping: dict[str, float] = {}  # victim -> window end
+        self._flap_cuts: dict[str, str] = {}  # victim -> active cut name
+        self._dup_victims: set[str] = set()
         self._base_drop = network.drop_probability
         self._started_at: Optional[float] = None
         self._stopped = False
@@ -214,14 +305,24 @@ class ChaosEngine:
         if self._stopped:
             return
         self._stopped = True
-        if self._partition_active:
-            self._heal_partition()
-        if self._loss_active:
-            self._end_loss()
+        for name in sorted(self._cuts):
+            self._heal_cut(name)
+        for token in sorted(self._loss_windows):
+            self._end_loss(token)
         if self._storm_active:
             self._end_storm()
+        for victim in sorted(self._degraded):
+            self._end_slow_node(victim)
+        for victim in sorted(self._flapping):
+            self._end_flap(victim)
+        for victim in sorted(self._dup_victims):
+            self._end_dup_storm(victim)
         for name in sorted(self._down):
             self._recover(name)
+        # Clamp ground-truth windows that out-lived the campaign.
+        for fault in self.gray_schedule:
+            if fault.end > self.sim.now:
+                fault.end = self.sim.now
         self.trace.emit(
             self.sim.now, "chaos.end", "chaos",
             injected=self.faults_injected, skipped=self.faults_skipped,
@@ -242,6 +343,14 @@ class ChaosEngine:
             choices.append(("membership", cfg.membership_outage_weight))
         if self.rate_controller is not None:
             choices.append(("load_storm", cfg.load_storm_weight))
+        choices.extend(
+            [
+                ("slow_node", cfg.slow_node_weight),
+                ("flapping_link", cfg.flapping_link_weight),
+                ("oneway_partition", cfg.oneway_partition_weight),
+                ("dup_storm", cfg.dup_storm_weight),
+            ]
+        )
         kinds = [k for k, w in choices if w > 0]
         weights = [w for _, w in choices if w > 0]
         if not kinds:
@@ -254,6 +363,10 @@ class ChaosEngine:
             "loss": self._inject_loss,
             "membership": self._inject_membership_outage,
             "load_storm": self._inject_load_storm,
+            "slow_node": self._inject_slow_node,
+            "flapping_link": self._inject_flapping_link,
+            "oneway_partition": self._inject_oneway_partition,
+            "dup_storm": self._inject_dup_storm,
         }[kind]()
 
     def _record(self, event: ChaosEvent) -> None:
@@ -305,37 +418,46 @@ class ChaosEngine:
         else:
             self.network.recover(name)
 
-    def _inject_partition(self) -> bool:
-        if self._partition_active:
-            return False
-        # Cut a small minority of unprotected replicas off from the rest
-        # of the world (including the membership service, so heartbeat
-        # loss and eviction are part of the exercised behaviour).
+    def _pick_minority(self) -> Optional[tuple[set[str], list[str]]]:
+        """A small minority of unprotected replicas vs the rest of the world
+        (including the membership service, so heartbeat loss and eviction
+        are part of the exercised behaviour)."""
         pool = [n for n in self.targets.crashable() if n not in self._down]
         if len(pool) < 2:
-            return False
+            return None
         size = self.rng.randint(1, max(1, len(pool) // 3))
         minority = set(self.rng.sample(pool, size))
         majority = [e for e in self.network.endpoints() if e not in minority]
-        self._partition_active = True
-        self.network.partition(sorted(minority), majority)
+        return minority, majority
+
+    def _inject_partition(self) -> bool:
+        if len(self._cuts) >= self.config.max_concurrent_partitions:
+            return False
+        picked = self._pick_minority()
+        if picked is None:
+            return False
+        minority, majority = picked
+        name = self.network.partition(sorted(minority), majority)
+        self._cuts.add(name)
         window = self.rng.uniform(*self.config.partition_window)
         self._record(
             ChaosEvent(
                 self.sim.now, "partition", "+".join(sorted(minority)),
                 until=self.sim.now + window,
-                detail={"minority": sorted(minority)},
+                detail={"minority": sorted(minority), "cut": name},
             )
         )
-        self.sim.schedule(window, self._heal_partition)
+        self.sim.schedule(window, self._heal_cut, name)
         return True
 
-    def _heal_partition(self) -> None:
-        if not self._partition_active:
+    def _heal_cut(self, name: str) -> None:
+        if name not in self._cuts:
             return
-        self._partition_active = False
-        self.network.heal_partitions()
-        self._record(ChaosEvent(self.sim.now, "heal", "network"))
+        self._cuts.discard(name)
+        self.network.heal_partition(name)
+        self._record(
+            ChaosEvent(self.sim.now, "heal", "network", detail={"cut": name})
+        )
 
     def _inject_overload(self) -> bool:
         pool = [
@@ -362,13 +484,13 @@ class ChaosEngine:
         return True
 
     def _inject_loss(self) -> bool:
-        if self._loss_active:
-            return False
         probability = self.rng.uniform(*self.config.loss_probability)
         window = self.rng.uniform(*self.config.loss_window)
-        self._loss_active = True
-        self.network.drop_probability = probability
-        self.sim.schedule(window, self._end_loss)
+        token = self._loss_token
+        self._loss_token += 1
+        self._loss_windows[token] = probability
+        self._apply_loss()
+        self.sim.schedule(window, self._end_loss, token)
         self._record(
             ChaosEvent(
                 self.sim.now, "loss", "network",
@@ -378,11 +500,19 @@ class ChaosEngine:
         )
         return True
 
-    def _end_loss(self) -> None:
-        if not self._loss_active:
+    def _apply_loss(self) -> None:
+        """Overlapping loss windows compose as the max drop probability."""
+        if self._loss_windows:
+            self.network.drop_probability = max(
+                self._base_drop, *self._loss_windows.values()
+            )
+        else:
+            self.network.drop_probability = self._base_drop
+
+    def _end_loss(self, token: int) -> None:
+        if self._loss_windows.pop(token, None) is None:
             return
-        self._loss_active = False
-        self.network.drop_probability = self._base_drop
+        self._apply_loss()
         self._record(ChaosEvent(self.sim.now, "loss-end", "network"))
 
     def _inject_load_storm(self) -> bool:
@@ -427,3 +557,170 @@ class ChaosEngine:
         )
         self.sim.schedule(downtime, self._recover, name)
         return True
+
+    # ------------------------------------------------------------------
+    # Gray faults: alive but slow (the paper's timing-failure regime)
+    # ------------------------------------------------------------------
+    def _serving_pool(self, busy: set[str]) -> list[str]:
+        """Serving replicas a gray fault may hit: not protected, not
+        crashed, not already carrying the same gray fault kind."""
+        return [
+            n
+            for n in (*self.targets.primaries, *self.targets.secondaries)
+            if n not in self.targets.protected
+            and n not in self._down
+            and n not in busy
+            and self.network.is_up(n)
+        ]
+
+    def _gray_fault(
+        self, kind: str, target: str, window: float, severity: float
+    ) -> GrayFault:
+        fault = GrayFault(
+            kind, target, self.sim.now, self.sim.now + window, severity
+        )
+        self.gray_schedule.append(fault)
+        return fault
+
+    def _inject_slow_node(self) -> bool:
+        pool = self._serving_pool(self._degraded)
+        if not pool:
+            return False
+        victim = self.rng.choice(pool)
+        factor = self.rng.uniform(*self.config.slow_factor)
+        jitter = self.rng.uniform(*self.config.slow_jitter)
+        window = self.rng.uniform(*self.config.slow_window)
+        self._degraded.add(victim)
+        self.network.degrade_node(victim, factor, jitter)
+        self._gray_fault("slow_node", victim, window, factor)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "slow-node", victim,
+                until=self.sim.now + window,
+                detail={"factor": round(factor, 2), "jitter": round(jitter, 4)},
+            )
+        )
+        self.sim.schedule(window, self._end_slow_node, victim)
+        return True
+
+    def _end_slow_node(self, victim: str) -> None:
+        if victim not in self._degraded:
+            return
+        self._degraded.discard(victim)
+        self.network.restore_node(victim)
+        self._record(ChaosEvent(self.sim.now, "slow-node-end", victim))
+
+    def _inject_flapping_link(self) -> bool:
+        pool = self._serving_pool(set(self._flapping))
+        if not pool:
+            return False
+        victim = self.rng.choice(pool)
+        window = self.rng.uniform(*self.config.flap_window)
+        period = self.rng.uniform(*self.config.flap_period)
+        self._flapping[victim] = self.sim.now + window
+        self._gray_fault("flapping_link", victim, window, period)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "flapping-link", victim,
+                until=self.sim.now + window,
+                detail={"period": round(period, 3)},
+            )
+        )
+        self._flap_toggle(victim, period)
+        return True
+
+    def _flap_toggle(self, victim: str, period: float) -> None:
+        """Alternate the victim between cut-off and connected every half
+        period until its window expires."""
+        until = self._flapping.get(victim)
+        if until is None:
+            return
+        if self.sim.now >= until:
+            self._end_flap(victim)
+            return
+        cut = self._flap_cuts.pop(victim, None)
+        if cut is not None:
+            self.network.heal_partition(cut)
+        else:
+            others = [e for e in self.network.endpoints() if e != victim]
+            self._flap_cuts[victim] = self.network.partition(
+                [victim], others, name=f"flap:{victim}:{self.sim.now:.4f}"
+            )
+        self.sim.schedule(period / 2.0, self._flap_toggle, victim, period)
+
+    def _end_flap(self, victim: str) -> None:
+        if self._flapping.pop(victim, None) is None:
+            return
+        cut = self._flap_cuts.pop(victim, None)
+        if cut is not None:
+            self.network.heal_partition(cut)
+        self._record(ChaosEvent(self.sim.now, "flapping-link-end", victim))
+
+    def _inject_oneway_partition(self) -> bool:
+        if len(self._cuts) >= self.config.max_concurrent_partitions:
+            return False
+        picked = self._pick_minority()
+        if picked is None:
+            return False
+        minority, majority = picked
+        # Coin-flip the blocked direction: the minority's outbound traffic
+        # (requests vanish, replies still arrive) or its inbound traffic.
+        outbound = self.rng.random() < 0.5
+        if outbound:
+            name = self.network.partition(
+                sorted(minority), majority, symmetric=False
+            )
+        else:
+            name = self.network.partition(
+                majority, sorted(minority), symmetric=False
+            )
+        self._cuts.add(name)
+        window = self.rng.uniform(*self.config.partition_window)
+        for member in sorted(minority):
+            self._gray_fault("oneway_partition", member, window, 1.0)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "oneway-partition", "+".join(sorted(minority)),
+                until=self.sim.now + window,
+                detail={
+                    "minority": sorted(minority),
+                    "cut": name,
+                    "blocked": "outbound" if outbound else "inbound",
+                },
+            )
+        )
+        self.sim.schedule(window, self._heal_cut, name)
+        return True
+
+    def _inject_dup_storm(self) -> bool:
+        pool = self._serving_pool(self._dup_victims)
+        if not pool:
+            return False
+        victim = self.rng.choice(pool)
+        probability = self.rng.uniform(*self.config.dup_probability)
+        window = self.rng.uniform(*self.config.dup_window)
+        churn = LinkChurn(
+            duplicate_probability=probability,
+            reorder_probability=probability,
+        )
+        self._dup_victims.add(victim)
+        self.network.set_churn("*", victim, churn)
+        self.network.set_churn(victim, "*", churn)
+        self._gray_fault("dup_storm", victim, window, probability)
+        self._record(
+            ChaosEvent(
+                self.sim.now, "dup-storm", victim,
+                until=self.sim.now + window,
+                detail={"probability": round(probability, 3)},
+            )
+        )
+        self.sim.schedule(window, self._end_dup_storm, victim)
+        return True
+
+    def _end_dup_storm(self, victim: str) -> None:
+        if victim not in self._dup_victims:
+            return
+        self._dup_victims.discard(victim)
+        self.network.clear_churn("*", victim)
+        self.network.clear_churn(victim, "*")
+        self._record(ChaosEvent(self.sim.now, "dup-storm-end", victim))

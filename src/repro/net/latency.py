@@ -46,6 +46,40 @@ class LatencyModel:
         )
 
 
+class DegradedLatency(LatencyModel):
+    """A gray-failure wrapper: base delay × ``factor`` + uniform jitter.
+
+    The fabric composes one of these on the fly when a node or link is
+    degraded (:meth:`~repro.net.network.Network.degrade_node` /
+    :meth:`~repro.net.network.Network.degrade_link`), so the endpoint
+    stays *alive* — heartbeats and replies still flow — but every
+    message through it is late by a multiplicative slowdown plus an
+    additive jitter sampled from the same per-link stream the base
+    model uses (no extra RNG draws happen anywhere else).
+    """
+
+    def __init__(
+        self, base: LatencyModel, factor: float = 1.0, jitter_s: float = 0.0
+    ) -> None:
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor!r}")
+        if jitter_s < 0.0:
+            raise ValueError(f"negative degradation jitter {jitter_s!r}")
+        super().__init__(base.propagation, base.bandwidth_bytes_per_s)
+        self.base = base
+        self.factor = factor
+        self.jitter_s = jitter_s
+
+    def delay(self, message: Message, rng: random.Random) -> float:
+        delayed = self.base.delay(message, rng) * self.factor
+        if self.jitter_s > 0.0:
+            delayed += rng.uniform(0.0, self.jitter_s)
+        return delayed
+
+    def mean_delay(self, size_bytes: int = 256) -> float:
+        return self.base.mean_delay(size_bytes) * self.factor + self.jitter_s / 2.0
+
+
 class LanLatency(LatencyModel):
     """A 100 Mbps-LAN-like link: sub-millisecond jittered delay.
 

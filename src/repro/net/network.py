@@ -6,9 +6,17 @@ layers need:
 
 * **crashed endpoints** neither send nor receive (a crash while a message
   is in flight loses the message — delivery is re-checked at arrival time);
-* **partitions** silently drop messages across the cut;
+* **partitions** are *named, individually healable cuts*, optionally
+  asymmetric (one-way: traffic ``side_a -> side_b`` blocked while the
+  reverse direction flows) — messages across an active cut are dropped;
 * an optional uniform **drop probability** models lossy links (the group
-  layer adds reliability on top, as Ensemble does).
+  layer adds reliability on top, as Ensemble does);
+* **gray degradation**: a node or directed link can be degraded — latency
+  multiplied and jitter added via :meth:`Network.latency_for` — so the
+  target stays alive but slow, the paper's timing-failure regime;
+* **link churn**: per-pair duplication/reordering knobs
+  (:class:`LinkChurn`) deliver some messages twice or late, exercising
+  the protocol's idempotency guards.
 
 Per-pair latency overrides allow heterogeneous topologies (slow hosts/links,
 as the paper's 300 MHz–1 GHz testbed had).
@@ -16,9 +24,12 @@ as the paper's 300 MHz–1 GHz testbed had).
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass
+
 from typing import Any, Iterable, Optional
 
-from repro.net.latency import LatencyModel
+from repro.net.latency import DegradedLatency, LatencyModel
 from repro.net.message import Message
 from repro.net.node import Host
 from repro.obs.metrics import MetricsRegistry
@@ -29,6 +40,51 @@ from repro.sim.tracing import NULL_TRACE, Trace
 
 class NetworkError(RuntimeError):
     """Raised for fabric misuse (unknown endpoint, duplicate attach, ...)."""
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionCut:
+    """One named cut.  ``symmetric=False`` blocks only ``side_a -> side_b``."""
+
+    name: str
+    side_a: frozenset[str]
+    side_b: frozenset[str]
+    symmetric: bool = True
+
+    def blocks(self, sender: str, recipient: str) -> bool:
+        if sender in self.side_a and recipient in self.side_b:
+            return True
+        return (
+            self.symmetric
+            and sender in self.side_b
+            and recipient in self.side_a
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LinkChurn:
+    """Duplication/reordering knobs for a (possibly wildcard) directed pair.
+
+    ``duplicate_probability`` delivers a second copy of the message after
+    an extra delay drawn from ``extra_delay``; ``reorder_probability``
+    adds that extra delay to the *original* delivery, letting later sends
+    overtake it.  Both are sampled from a dedicated ``net.churn`` stream,
+    consumed only while churn is configured, so the fabric's RNG schedule
+    is untouched when the knobs are off.
+    """
+
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    extra_delay: tuple[float, float] = (0.0005, 0.01)
+
+    def __post_init__(self) -> None:
+        for name in ("duplicate_probability", "reorder_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} {p!r} outside [0, 1]")
+        low, high = self.extra_delay
+        if low < 0 or high < low:
+            raise ValueError(f"invalid extra_delay range [{low}, {high}]")
 
 
 class Endpoint:
@@ -106,10 +162,16 @@ class Network:
         self._hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], LatencyModel] = {}
         self._crashed: set[str] = set()
-        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        self._partitions: dict[str, PartitionCut] = {}
+        self._cut_ids = itertools.count(1)
+        self._degraded_nodes: dict[str, tuple[float, float]] = {}
+        self._degraded_links: dict[tuple[str, str], tuple[float, float]] = {}
+        self._churn: dict[tuple[str, str], LinkChurn] = {}
         self._m_sent = self.metrics.counter("net_messages_sent")
         self._m_delivered = self.metrics.counter("net_messages_delivered")
         self._m_dropped = self.metrics.counter("net_messages_dropped")
+        self._m_duplicated = self.metrics.counter("net_messages_duplicated")
+        self._m_reordered = self.metrics.counter("net_messages_reordered")
         self._h_delivery_delay = self.metrics.histogram(
             "net_delivery_delay_seconds"
         )
@@ -166,7 +228,117 @@ class Network:
         self.set_link(b, a, latency)
 
     def latency_for(self, sender: str, recipient: str) -> LatencyModel:
-        return self._links.get((sender, recipient), self.default_latency)
+        base = self._links.get((sender, recipient), self.default_latency)
+        if not self._degraded_nodes and not self._degraded_links:
+            return base
+        factor, jitter = 1.0, 0.0
+        for entry in (
+            self._degraded_nodes.get(sender),
+            self._degraded_nodes.get(recipient),
+            self._degraded_links.get((sender, recipient)),
+        ):
+            if entry is not None:
+                factor *= entry[0]
+                jitter += entry[1]
+        if factor == 1.0 and jitter == 0.0:
+            return base
+        return DegradedLatency(base, factor, jitter)
+
+    # ------------------------------------------------------------------
+    # Gray degradation: alive but slow (timing failures, not crashes)
+    # ------------------------------------------------------------------
+    def degrade_node(
+        self, name: str, factor: float = 1.0, jitter_s: float = 0.0
+    ) -> None:
+        """Slow every message to or from ``name`` (factor × + jitter).
+
+        Degrading a node that is already degraded replaces the previous
+        severity.  The endpoint keeps sending and receiving — this is a
+        *gray* failure: membership heartbeats still flow, only late.
+        """
+        if name not in self._endpoints:
+            raise NetworkError(f"unknown endpoint {name!r}")
+        if factor < 1.0 or jitter_s < 0.0:
+            raise ValueError(
+                f"invalid degradation factor={factor!r} jitter={jitter_s!r}"
+            )
+        self._degraded_nodes[name] = (factor, jitter_s)
+        self.trace.emit(
+            self.sim.now, "net.degrade", name,
+            factor=round(factor, 3), jitter=round(jitter_s, 5),
+        )
+
+    def restore_node(self, name: str) -> bool:
+        """Undo :meth:`degrade_node`; returns False if it was not degraded."""
+        if self._degraded_nodes.pop(name, None) is None:
+            return False
+        self.trace.emit(self.sim.now, "net.restore", name)
+        return True
+
+    def degrade_link(
+        self, sender: str, recipient: str, factor: float = 1.0,
+        jitter_s: float = 0.0,
+    ) -> None:
+        """Slow the directed link ``sender -> recipient`` only."""
+        if factor < 1.0 or jitter_s < 0.0:
+            raise ValueError(
+                f"invalid degradation factor={factor!r} jitter={jitter_s!r}"
+            )
+        self._degraded_links[(sender, recipient)] = (factor, jitter_s)
+        self.trace.emit(
+            self.sim.now, "net.degrade-link", f"{sender}->{recipient}",
+            factor=round(factor, 3), jitter=round(jitter_s, 5),
+        )
+
+    def restore_link(self, sender: str, recipient: str) -> bool:
+        if self._degraded_links.pop((sender, recipient), None) is None:
+            return False
+        self.trace.emit(
+            self.sim.now, "net.restore-link", f"{sender}->{recipient}"
+        )
+        return True
+
+    def is_degraded(self, name: str) -> bool:
+        return name in self._degraded_nodes
+
+    def clear_degradations(self) -> None:
+        for name in sorted(self._degraded_nodes):
+            self.restore_node(name)
+        for sender, recipient in sorted(self._degraded_links):
+            self.restore_link(sender, recipient)
+
+    # ------------------------------------------------------------------
+    # Link churn: duplication and reordering
+    # ------------------------------------------------------------------
+    def set_churn(self, sender: str, recipient: str, churn: LinkChurn) -> None:
+        """Install duplication/reordering on ``sender -> recipient``.
+
+        Either side may be the wildcard ``"*"``; an exact pair match wins
+        over ``(sender, "*")``, which wins over ``("*", recipient)``,
+        which wins over ``("*", "*")``.
+        """
+        self._churn[(sender, recipient)] = churn
+
+    def clear_churn(
+        self, sender: Optional[str] = None, recipient: Optional[str] = None
+    ) -> None:
+        """Remove one churn entry, or all of them when called bare."""
+        if sender is None and recipient is None:
+            self._churn.clear()
+            return
+        self._churn.pop((sender, recipient), None)  # type: ignore[arg-type]
+
+    def _churn_for(self, sender: str, recipient: str) -> Optional[LinkChurn]:
+        for key in (
+            (sender, recipient),
+            (sender, "*"),
+            ("*", recipient),
+            ("*", "*"),
+        ):
+            churn = self._churn.get(key)
+            if churn is not None:
+                return churn
+        return None
 
     # ------------------------------------------------------------------
     # Failures
@@ -206,27 +378,55 @@ class Network:
     def is_up(self, name: str) -> bool:
         return name in self._endpoints and name not in self._crashed
 
-    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
-        """Block all traffic between the two endpoint sets."""
-        cut = (frozenset(side_a), frozenset(side_b))
-        self._partitions.append(cut)
+    def partition(
+        self,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        name: Optional[str] = None,
+        symmetric: bool = True,
+    ) -> str:
+        """Install a named cut and return its name.
+
+        ``symmetric=True`` blocks all traffic between the two sets;
+        ``symmetric=False`` blocks only ``side_a -> side_b`` (a one-way
+        gray partition: replies and heartbeats still flow back).  Cuts
+        are healed individually by :meth:`heal_partition` or wholesale
+        by :meth:`heal_partitions`.
+        """
+        if name is None:
+            name = f"cut-{next(self._cut_ids)}"
+        if name in self._partitions:
+            raise NetworkError(f"partition {name!r} already active")
+        cut = PartitionCut(name, frozenset(side_a), frozenset(side_b), symmetric)
+        self._partitions[name] = cut
         self.trace.emit(
             self.sim.now,
             "net.partition",
             "network",
-            side_a=sorted(cut[0]),
-            side_b=sorted(cut[1]),
+            name=name,
+            symmetric=symmetric,
+            side_a=sorted(cut.side_a),
+            side_b=sorted(cut.side_b),
         )
+        return name
+
+    def heal_partition(self, name: str) -> bool:
+        """Heal one named cut; returns False if it was not active."""
+        if self._partitions.pop(name, None) is None:
+            return False
+        self.trace.emit(self.sim.now, "net.heal", "network", name=name)
+        return True
 
     def heal_partitions(self) -> None:
         self._partitions.clear()
         self.trace.emit(self.sim.now, "net.heal", "network")
 
+    def active_partitions(self) -> list[str]:
+        return sorted(self._partitions)
+
     def _cut(self, sender: str, recipient: str) -> bool:
-        for side_a, side_b in self._partitions:
-            if (sender in side_a and recipient in side_b) or (
-                sender in side_b and recipient in side_a
-            ):
+        for cut in self._partitions.values():
+            if cut.blocks(sender, recipient):
                 return True
         return False
 
@@ -255,6 +455,26 @@ class Network:
                 return message
         link_rng = self.rng.stream(f"net.link.{sender}->{recipient}")
         delay = self.latency_for(sender, recipient).delay(message, link_rng)
+        if self._churn:
+            churn = self._churn_for(sender, recipient)
+            if churn is not None:
+                crng = self.rng.stream("net.churn")
+                if (
+                    churn.reorder_probability > 0.0
+                    and crng.random() < churn.reorder_probability
+                ):
+                    delay += crng.uniform(*churn.extra_delay)
+                    self._m_reordered.inc()
+                if (
+                    churn.duplicate_probability > 0.0
+                    and crng.random() < churn.duplicate_probability
+                ):
+                    self._m_duplicated.inc()
+                    self.sim.schedule(
+                        delay + crng.uniform(*churn.extra_delay),
+                        self._arrive,
+                        message,
+                    )
         self.sim.schedule(delay, self._arrive, message)
         return message
 

@@ -17,6 +17,11 @@ See DESIGN.md §10 for the architecture.
 """
 
 from repro.obs.calibration import CalibrationBucket, CalibrationTracker
+from repro.obs.detection import (
+    DetectionReport,
+    FaultDetection,
+    score_detection,
+)
 from repro.obs.export import (
     metrics_event,
     prometheus_text,
@@ -45,6 +50,8 @@ __all__ = [
     "CalibrationTracker",
     "Counter",
     "DEFAULT_TIME_BUCKETS",
+    "DetectionReport",
+    "FaultDetection",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -57,6 +64,7 @@ __all__ = [
     "prometheus_text",
     "request_id_of",
     "span_root",
+    "score_detection",
     "summarize_histogram",
     "write_jsonl",
 ]

@@ -1,0 +1,194 @@
+"""Detection-quality scoring: suspicion transitions vs chaos ground truth.
+
+The φ-accrual detector (:mod:`repro.core.detector`) logs every
+suspect/clear edge; the chaos engine (:mod:`repro.net.chaos`) logs the
+ground-truth :class:`~repro.net.chaos.GrayFault` schedule of what it
+actually degraded, when, and how hard.  This module joins the two — the
+same predicted-vs-achieved discipline as the calibration tracker
+(:mod:`repro.obs.calibration`) applies to ``P_c(d)``:
+
+* **time-to-detect** — per detected fault, first suspicion time minus
+  fault start (0 if the target was already suspected when the fault
+  began);
+* **missed-detection rate** — faults whose target was never suspected
+  inside ``[start, end + grace]``;
+* **false-positive rate** — suspect edges raised for a peer with no
+  fault covering that instant (grace extends each fault window, since a
+  suspicion raised moments after heal was honestly earned).
+
+Only faults on *observable* targets are scored: a client detector only
+hears from replicas it reads from or that broadcast to it, so callers
+pass the serving-replica set and faults elsewhere are excluded rather
+than counted as misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # circular at runtime: core.detector pulls in repro.core,
+    # which imports the net layer, which imports repro.obs.metrics.
+    from repro.core.detector import SuspicionTransition
+    from repro.net.chaos import GrayFault
+
+
+@dataclass(frozen=True)
+class FaultDetection:
+    """One ground-truth fault joined with the detector's verdict."""
+
+    kind: str
+    target: str
+    start: float
+    end: float
+    severity: float
+    detected_at: Optional[float]
+
+    @property
+    def detected(self) -> bool:
+        return self.detected_at is not None
+
+    @property
+    def time_to_detect(self) -> Optional[float]:
+        if self.detected_at is None:
+            return None
+        return max(0.0, self.detected_at - self.start)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6),
+            "severity": round(self.severity, 4),
+            "detected_at": (
+                None if self.detected_at is None
+                else round(self.detected_at, 6)
+            ),
+            "time_to_detect": (
+                None if self.time_to_detect is None
+                else round(self.time_to_detect, 6)
+            ),
+        }
+
+
+@dataclass
+class DetectionReport:
+    """The scorer's verdict over one campaign."""
+
+    faults: list[FaultDetection] = field(default_factory=list)
+    suspect_edges: int = 0
+    false_positives: int = 0
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for f in self.faults if f.detected)
+
+    @property
+    def missed(self) -> int:
+        return len(self.faults) - self.detected
+
+    @property
+    def missed_rate(self) -> float:
+        if not self.faults:
+            return 0.0
+        return self.missed / len(self.faults)
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of suspect edges not attributable to any fault."""
+        if self.suspect_edges == 0:
+            return 0.0
+        return self.false_positives / self.suspect_edges
+
+    @property
+    def mean_time_to_detect(self) -> Optional[float]:
+        ttds = [
+            f.time_to_detect for f in self.faults
+            if f.time_to_detect is not None
+        ]
+        if not ttds:
+            return None
+        return sum(ttds) / len(ttds)
+
+    def to_dict(self) -> dict:
+        mean_ttd = self.mean_time_to_detect
+        return {
+            "faults": [f.to_dict() for f in self.faults],
+            "fault_count": len(self.faults),
+            "detected": self.detected,
+            "missed": self.missed,
+            "missed_rate": round(self.missed_rate, 4),
+            "suspect_edges": self.suspect_edges,
+            "false_positives": self.false_positives,
+            "false_positive_rate": round(self.false_positive_rate, 4),
+            "mean_time_to_detect": (
+                None if mean_ttd is None else round(mean_ttd, 6)
+            ),
+        }
+
+
+def score_detection(
+    transitions: Iterable[SuspicionTransition],
+    schedule: Iterable[GrayFault],
+    observable: Optional[set[str]] = None,
+    grace: float = 0.5,
+) -> DetectionReport:
+    """Join suspicion transitions against the ground-truth fault schedule.
+
+    ``observable`` restricts scoring to faults on peers the detector
+    could actually hear from; ``grace`` (seconds) extends each fault
+    window when attributing suspicions and crediting detections (the
+    evidence of a fault — a missing arrival — necessarily trails it).
+    """
+    if grace < 0:
+        raise ValueError("grace must be non-negative")
+    transitions = list(transitions)
+    suspects = [t for t in transitions if t.suspected]
+    faults = [
+        f for f in schedule
+        if observable is None or f.target in observable
+    ]
+
+    report = DetectionReport(suspect_edges=len(suspects))
+    for fault in faults:
+        detected_at = None
+        for t in suspects:
+            if t.peer != fault.target:
+                continue
+            if fault.start <= t.time <= fault.end + grace:
+                detected_at = t.time
+                break
+        if detected_at is None and _still_suspected(
+            transitions, fault.target, fault.start
+        ):
+            # Already suspected when the fault began (an earlier fault's
+            # suspicion still latched counts as instantaneous detection).
+            detected_at = fault.start
+        report.faults.append(
+            FaultDetection(
+                fault.kind, fault.target, fault.start, fault.end,
+                fault.severity, detected_at,
+            )
+        )
+
+    for t in suspects:
+        covered = any(
+            f.target == t.peer and f.start <= t.time <= f.end + grace
+            for f in faults
+        )
+        if not covered:
+            report.false_positives += 1
+    return report
+
+
+def _still_suspected(
+    transitions: list[SuspicionTransition], peer: str, at: float
+) -> bool:
+    """Whether the peer's latest edge strictly before ``at`` was a suspect."""
+    state = False
+    for t in transitions:
+        if t.peer != peer or t.time >= at:
+            continue
+        state = t.suspected
+    return state

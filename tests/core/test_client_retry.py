@@ -98,6 +98,9 @@ def test_recovery_stats_shape():
         "reads_shed",
         "degradation_steps_down",
         "degradation_steps_up",
+        "detector_ejections",
+        "detector_hedges",
+        "detector_probes",
     }
     assert all(v == 0 for v in stats.values())
 

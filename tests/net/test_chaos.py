@@ -342,3 +342,120 @@ def test_zero_storm_weight_keeps_existing_schedules():
         return [(e.time, e.kind, e.target) for e in engine.events]
 
     assert schedule(None) == schedule(ArrivalRateController())
+
+
+# ---------------------------------------------------------------------------
+# Gray-fault family: slow nodes, flapping links, one-way cuts, dup storms
+# ---------------------------------------------------------------------------
+GRAY_CONFIG_KWARGS = dict(
+    duration=12.0,
+    mean_interval=0.25,
+    crash_weight=0.0,
+    partition_weight=0.0,
+    overload_weight=0.0,
+    loss_weight=0.0,
+    slow_node_weight=2.0,
+    flapping_link_weight=2.0,
+    oneway_partition_weight=2.0,
+    dup_storm_weight=2.0,
+    slow_window=(0.5, 1.5),
+    flap_window=(0.5, 1.5),
+    dup_window=(0.5, 1.5),
+)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"slow_factor": (0.5, 2.0)},
+        {"slow_window": (2.0, 1.0)},
+        {"flap_period": (0.0, 0.1)},
+        {"dup_probability": (0.1, 1.5)},
+        {"slow_jitter": (-0.01, 0.05)},
+    ],
+)
+def test_chaos_config_rejects_bad_gray_values(kwargs):
+    with pytest.raises(ValueError):
+        ChaosConfig(**kwargs)
+
+
+def run_gray_campaign(seed=5):
+    sim, network = make_fabric()
+    engine = make_engine(
+        network, seed=seed, config=ChaosConfig(**GRAY_CONFIG_KWARGS)
+    )
+    engine.start()
+    sim.run(until=20.0)
+    return sim, network, engine
+
+
+def test_gray_campaign_records_ground_truth():
+    sim, network, engine = run_gray_campaign()
+    assert engine.finished
+    assert engine.gray_schedule, "no gray faults injected"
+    kinds = {fault.kind for fault in engine.gray_schedule}
+    assert kinds == {
+        "slow_node", "flapping_link", "oneway_partition", "dup_storm"
+    }
+    names = set(network.endpoints())
+    for fault in engine.gray_schedule:
+        assert fault.target in names
+        assert 0.0 < fault.start < fault.end <= sim.now
+        assert fault.severity > 0.0
+
+
+def test_gray_campaign_heals_the_world():
+    sim, network, engine = run_gray_campaign()
+    assert engine.finished
+    assert network.active_partitions() == []
+    for name in network.endpoints():
+        assert network.is_up(name)
+        assert not network.is_degraded(name)
+    assert not network._churn  # dup storms fully uninstalled
+    assert not network._degraded_links
+
+
+def test_gray_schedule_is_deterministic():
+    def ground_truth(seed):
+        _, _, engine = run_gray_campaign(seed)
+        return [fault.to_dict() for fault in engine.gray_schedule]
+
+    assert ground_truth(5) == ground_truth(5)
+    assert ground_truth(5) != ground_truth(6)
+
+
+def test_slow_node_degrades_only_during_window():
+    sim, network, engine = run_gray_campaign()
+    # Replay: degradation observed mid-window has been removed by the end
+    # (campaign healed), and the schedule says who was slow when.
+    slow = [f for f in engine.gray_schedule if f.kind == "slow_node"]
+    assert slow
+    for fault in slow:
+        assert fault.severity >= 1.0  # latency factor
+
+
+def test_zero_gray_weights_keep_existing_schedules():
+    """All-gray-off configs must replay the exact legacy fault schedule:
+    the gray streams draw nothing when their weights are zero."""
+
+    def schedule(**extra):
+        sim, network = make_fabric()
+        engine = ChaosEngine(
+            network,
+            ChaosTargets(primaries=PRIMARIES, secondaries=SECONDARIES,
+                         sequencer="seq"),
+            ChaosConfig(duration=10.0, mean_interval=0.3, **extra),
+            rng=random.Random(11),
+        )
+        engine.start()
+        sim.run(until=15.0)
+        return [(e.time, e.kind, e.target) for e in engine.events]
+
+    assert schedule() == schedule(
+        slow_node_weight=0.0,
+        flapping_link_weight=0.0,
+        oneway_partition_weight=0.0,
+        dup_storm_weight=0.0,
+        slow_factor=(4.0, 9.0),  # shape knobs alone must not perturb
+        flap_period=(0.05, 0.2),
+    )

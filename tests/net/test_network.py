@@ -246,3 +246,185 @@ def test_invalid_drop_probability_rejected(sim, rng):
 
     with pytest.raises(ValueError):
         Network(sim, rng, FixedLatency(0.001), drop_probability=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Named and asymmetric partitions
+# ---------------------------------------------------------------------------
+def test_named_cuts_coexist_and_heal_individually(sim, network, pair):
+    a, b = pair
+    c = Sink("c")
+    network.attach(c)
+    network.partition(["a"], ["b"], name="ab")
+    network.partition(["a"], ["c"], name="ac")
+    assert network.active_partitions() == ["ab", "ac"]
+    assert network.heal_partition("ab")
+    a.send("b", 1)
+    a.send("c", 2)
+    sim.run()
+    assert len(b.received) == 1
+    assert len(c.received) == 0  # "ac" still cuts
+    assert not network.heal_partition("ab")  # already healed
+
+
+def test_duplicate_partition_name_rejected(network, pair):
+    network.partition(["a"], ["b"], name="dup")
+    with pytest.raises(NetworkError):
+        network.partition(["a"], ["b"], name="dup")
+
+
+def test_oneway_partition_blocks_single_direction(sim, network, pair):
+    a, b = pair
+    network.partition(["a"], ["b"], name="one-way", symmetric=False)
+    a.send("b", "blocked")
+    b.send("a", "flows")
+    sim.run()
+    assert len(b.received) == 0
+    assert len(a.received) == 1
+
+
+# ---------------------------------------------------------------------------
+# Gray degradation
+# ---------------------------------------------------------------------------
+def test_degrade_node_slows_both_directions(sim, network, pair):
+    a, b = pair
+    network.degrade_node("b", factor=100.0)
+    a.send("b", "in")
+    b.send("a", "out")
+    sim.run()
+    assert b.received[0][0] == pytest.approx(0.1)
+    assert a.received[0][0] == pytest.approx(0.1)
+    assert network.is_degraded("b")
+
+
+def test_restore_node_returns_to_base_latency(sim, network, pair):
+    a, b = pair
+    network.degrade_node("b", factor=100.0)
+    assert network.restore_node("b")
+    assert not network.restore_node("b")
+    a.send("b", 1)
+    sim.run()
+    assert b.received[0][0] == pytest.approx(0.001)
+
+
+def test_degrade_link_is_directed(sim, network, pair):
+    a, b = pair
+    network.degrade_link("a", "b", factor=50.0)
+    a.send("b", "slow")
+    b.send("a", "fast")
+    sim.run()
+    assert b.received[0][0] == pytest.approx(0.05)
+    assert a.received[0][0] == pytest.approx(0.001)
+
+
+def test_degradations_stack_multiplicatively(sim, network, pair):
+    a, b = pair
+    network.degrade_node("a", factor=10.0)
+    network.degrade_node("b", factor=10.0)
+    a.send("b", 1)
+    sim.run()
+    assert b.received[0][0] == pytest.approx(0.1)
+
+
+def test_degrade_rejects_bad_severity(network, pair):
+    with pytest.raises(ValueError):
+        network.degrade_node("a", factor=0.5)
+    with pytest.raises(ValueError):
+        network.degrade_link("a", "b", factor=1.0, jitter_s=-0.1)
+    with pytest.raises(NetworkError):
+        network.degrade_node("ghost", factor=2.0)
+
+
+def test_clear_degradations_restores_everything(sim, network, pair):
+    a, b = pair
+    network.degrade_node("a", factor=10.0)
+    network.degrade_link("a", "b", factor=10.0)
+    network.clear_degradations()
+    assert not network.is_degraded("a")
+    a.send("b", 1)
+    sim.run()
+    assert b.received[0][0] == pytest.approx(0.001)
+
+
+# ---------------------------------------------------------------------------
+# Link churn: duplication and reordering
+# ---------------------------------------------------------------------------
+def test_churn_validation():
+    from repro.net.network import LinkChurn
+
+    with pytest.raises(ValueError):
+        LinkChurn(duplicate_probability=1.5)
+    with pytest.raises(ValueError):
+        LinkChurn(reorder_probability=-0.1)
+    with pytest.raises(ValueError):
+        LinkChurn(extra_delay=(0.5, 0.1))
+
+
+def test_churn_duplicates_messages(sim, network, pair):
+    from repro.net.network import LinkChurn
+
+    a, b = pair
+    network.set_churn("a", "b", LinkChurn(duplicate_probability=1.0))
+    a.send("b", "twice")
+    sim.run()
+    assert [m.payload for _, m in b.received] == ["twice", "twice"]
+    assert network.metrics.counter("net_messages_duplicated").value == 1
+
+
+def test_churn_reorders_messages(sim, network, pair):
+    from repro.net.network import LinkChurn
+
+    a, b = pair
+    network.set_churn(
+        "a", "b",
+        LinkChurn(reorder_probability=1.0, extra_delay=(0.05, 0.05)),
+    )
+    a.send("b", "first-sent")
+    network.clear_churn("a", "b")
+    a.send("b", "second-sent")
+    sim.run()
+    # The delayed first message is overtaken by the second.
+    assert [m.payload for _, m in b.received] == ["second-sent", "first-sent"]
+
+
+def test_churn_wildcard_precedence(sim, network, pair):
+    from repro.net.network import LinkChurn
+
+    a, b = pair
+    network.set_churn("*", "*", LinkChurn(duplicate_probability=1.0))
+    network.set_churn("a", "b", LinkChurn(duplicate_probability=0.0))
+    a.send("b", "exact-pair-wins")
+    sim.run()
+    assert len(b.received) == 1
+    network.clear_churn()
+    a.send("b", "all-clear")
+    sim.run()
+    assert len(b.received) == 2
+
+
+def test_churn_off_leaves_rng_schedule_untouched(trace):
+    """The churn stream is only consumed when a matching rule exists, so
+    configuring churn for an idle pair must not shift delivery timing of
+    other traffic (bit-identical replay guarantee)."""
+    from repro.net.latency import LanLatency
+    from repro.net.network import LinkChurn, Network
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+
+    def run(with_idle_churn):
+        sim = Simulator()
+        net = Network(sim, RngRegistry(4242), LanLatency(0.002, 0.002))
+        a, b, c = Sink("a"), Sink("b"), Sink("c")
+        for ep in (a, b, c):
+            net.attach(ep)
+        if with_idle_churn:
+            net.set_churn(
+                "b", "c", LinkChurn(duplicate_probability=0.9,
+                                    reorder_probability=0.9)
+            )
+        for i in range(50):
+            a.send("b", i)
+        sim.run()
+        return [(t, m.payload) for t, m in b.received]
+
+    assert run(False) == run(True)
