@@ -103,6 +103,78 @@ def test_disabled_instruments_vanish_against_kernel_events(benchmark, report, re
 
 
 @pytest.mark.benchmark(group="obs-overhead")
+def test_enabled_recorder_tick_amortizes_below_gate(benchmark, report, record):
+    """A live :class:`TimeseriesRecorder` tick over a figure4-sized
+    registry (~260 series), amortized over the ~1000 kernel events one
+    tick spans in the quick figure4 cell, must stay under 3 % of one
+    kernel event — recording time series may not dominate simulation.
+    """
+    from repro.obs.timeseries import TimeseriesRecorder
+
+    # The seeded quick figure4 cell averages ~1k fired events per 5 s
+    # recorder tick; amortizing the tick cost over that span gives the
+    # effective per-event recorder overhead.
+    events_per_tick = 1000
+    ticks = 200
+
+    per_event = _kernel_per_event_s()
+    sim = Simulator()
+    registry = MetricsRegistry()
+    counters = [
+        registry.counter("bench_reads_total", idx=str(i)) for i in range(120)
+    ]
+    gauges = [
+        registry.gauge("bench_depth", idx=str(i)) for i in range(60)
+    ]
+    hists = [
+        registry.histogram("bench_wait_seconds", idx=str(i))
+        for i in range(80)
+    ]
+    # Default capacity (4096): like the real quick cell, the measured
+    # ticks never hit ring eviction.
+    recorder = TimeseriesRecorder(sim, registry, interval=1.0).start()
+    sim.run(until=0.5)  # adopt the baseline; no tick has fired yet
+
+    def one_tick() -> None:
+        for counter in counters:
+            counter.inc(3)
+        for j, gauge in enumerate(gauges):
+            gauge.set(j)
+        for hist in hists[::4]:
+            hist.observe(0.05)
+        recorder._record()
+
+    samples = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(ticks):
+            one_tick()
+        samples.append((time.perf_counter() - t0) / ticks)
+    tick_cost = sorted(samples)[1]
+    # Subtract the instrument mutations themselves: they belong to the
+    # instrumented code path, not the recorder.
+    mutation_cost = _per_op_s(counters[0].inc, ops=20_000) * 120
+    mutation_cost += _per_op_s(lambda: gauges[0].set(1), ops=20_000) * 60
+    mutation_cost += _per_op_s(lambda: hists[0].observe(0.05), ops=20_000) * 20
+    tick_cost = max(0.0, tick_cost - mutation_cost)
+
+    benchmark.pedantic(one_tick, rounds=3, iterations=50)
+    amortized = tick_cost / events_per_tick
+    ratio = amortized / per_event
+    report(
+        f"enabled recorder tick: {1e6 * tick_cost:.0f} us over "
+        f"{len(registry.instruments())} series -> {1e9 * amortized:.0f} ns "
+        f"per event ({100 * ratio:.2f}% of one kernel event)"
+    )
+    record("recorder_tick_us", 1e6 * tick_cost)
+    record("recorder_amortized_ns_per_event", 1e9 * amortized)
+    assert ratio < 0.03, (
+        f"enabled recorder costs {100 * ratio:.2f}% of a kernel event "
+        "amortized (bound: 3%)"
+    )
+
+
+@pytest.mark.benchmark(group="obs-overhead")
 def test_span_emission_disabled_is_one_attribute_check(benchmark, report, record):
     """Instrumented code guards span construction on ``trace.enabled``, so
     the disabled cost is the guard itself — far below one kernel event."""

@@ -10,6 +10,9 @@ Commands:
 * ``overload`` — load-storm campaigns: shedding vs. unbounded queues;
 * ``gray`` — gray-failure campaigns: φ-accrual detection vs. fixed timeouts;
 * ``metrics`` — one instrumented cell: telemetry + calibration report;
+* ``dash`` — sparkline/SLO dashboard over a timeline artifact (``--watch``
+  for a live view, ``--html`` for a self-contained report);
+* ``bench-diff`` — gate BENCH_*.json results against committed baselines;
 * ``speedup`` — warm-worker runner throughput at several ``--jobs`` levels;
 * ``scale`` — million-user cells via the aggregated (fluid) client tier,
   with ``--validate`` checking it against the discrete simulator;
@@ -85,6 +88,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         argv += ["--load-storm-weight", str(args.load_storm_weight)]
     if args.save:
         argv += ["--save", args.save]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
     if args.trace_dir:
         argv += ["--trace-dir", args.trace_dir]
     return chaos.main(argv)
@@ -142,6 +147,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         ("--seed", args.seed),
         ("--watch", args.watch),
         ("--metrics-out", args.metrics_out),
+        ("--timeline-out", args.timeline_out),
         ("--prometheus", args.prometheus),
     ):
         if value is not None:
@@ -149,6 +155,41 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.check:
         argv.append("--check")
     return telemetry.main(argv)
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.experiments import dashboard
+
+    argv = [args.input]
+    for item in args.select or []:
+        argv += ["--select", item]
+    for flag, value in (
+        ("--objective", args.objective),
+        ("--staleness-bound", args.staleness_bound),
+        ("--watch", args.watch),
+        ("--iterations", args.iterations),
+        ("--html", args.html),
+        ("--width", args.width),
+        ("--top", args.top),
+    ):
+        if value is not None:
+            argv += [flag, str(value)]
+    return dashboard.main(argv)
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.experiments import benchdiff
+
+    argv = []
+    if args.current:
+        argv += ["--current", args.current]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.max_regression is not None:
+        argv += ["--max-regression", str(args.max_regression)]
+    if args.update:
+        argv.append("--update")
+    return benchdiff.main(argv)
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
@@ -186,6 +227,8 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         argv += ["--seed", str(args.seed)]
     if args.save:
         argv += ["--save", args.save]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
     return scale.main(argv + _jobs_argv(args))
 
 
@@ -285,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc.add_argument("--save", metavar="PATH", help="write results as JSON")
     pc.add_argument(
+        "--metrics-out", metavar="PATH", help="write telemetry as JSONL"
+    )
+    pc.add_argument(
         "--trace-dir", metavar="DIR", help="dump traces of violating campaigns"
     )
     pc.set_defaults(func=_cmd_chaos)
@@ -342,9 +388,46 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--quick", action="store_true")
     pm.add_argument("--watch", type=float, default=None, metavar="SECONDS")
     pm.add_argument("--metrics-out", metavar="PATH")
+    pm.add_argument(
+        "--timeline-out", metavar="PATH",
+        help="record a time series and write it as JSONL (repro dash input)",
+    )
     pm.add_argument("--prometheus", metavar="PATH")
     pm.add_argument("--check", action="store_true")
     pm.set_defaults(func=_cmd_metrics)
+
+    pd = sub.add_parser(
+        "dash", help="sparkline/SLO dashboard over a timeline artifact"
+    )
+    pd.add_argument("input", help="JSONL artifact with timeline records")
+    pd.add_argument(
+        "--select", action="append", default=None, metavar="KEY=VALUE",
+        help="pick the timeline record matching this field; repeatable",
+    )
+    pd.add_argument("--objective", type=float, default=None)
+    pd.add_argument(
+        "--staleness-bound", type=float, default=None, metavar="SECONDS"
+    )
+    pd.add_argument("--watch", type=float, default=None, metavar="SECONDS")
+    pd.add_argument("--iterations", type=int, default=None, metavar="N")
+    pd.add_argument("--html", metavar="PATH")
+    pd.add_argument("--width", type=int, default=None)
+    pd.add_argument("--top", type=int, default=None)
+    pd.set_defaults(func=_cmd_dash)
+
+    pb = sub.add_parser(
+        "bench-diff", help="compare BENCH_*.json results against baselines"
+    )
+    pb.add_argument("--current", metavar="DIR", default=None)
+    pb.add_argument("--baseline", metavar="DIR", default=None)
+    pb.add_argument(
+        "--max-regression", type=float, default=None, metavar="FRACTION"
+    )
+    pb.add_argument(
+        "--update", action="store_true",
+        help="refresh the baselines from the current results",
+    )
+    pb.set_defaults(func=_cmd_bench_diff)
 
     ps = sub.add_parser(
         "speedup", help="warm-worker runner throughput per --jobs level"
@@ -398,6 +481,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pg.add_argument("--seed", type=int, default=None)
     pg.add_argument("--save", metavar="PATH", help="write results JSON")
+    pg.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the JSONL telemetry artifact (repro dash input)",
+    )
     pg.add_argument("--jobs", type=int, default=1)
     pg.set_defaults(func=_cmd_scale)
 

@@ -503,6 +503,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         else:
             # A primary that is transiently behind: serve once enough
             # updates commit (its state converges without lazy updates).
+            pending.stale_wait_started_at = self.now
             self._stale_wait.append((gsn - threshold, pending))
 
     # ------------------------------------------------------------------
@@ -546,6 +547,12 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         still_waiting = []
         for required_csn, pending in self._stale_wait:
             if self.my_csn >= required_csn:
+                if pending.stale_wait_started_at is not None:
+                    # Attribution: a behind primary's freshness wait is
+                    # commit-queue drain time (DESIGN.md §15).
+                    pending.stale_wait = (
+                        self.now - pending.stale_wait_started_at
+                    )
                 self.enqueue_ready(pending)
             else:
                 still_waiting.append((required_csn, pending))
@@ -573,6 +580,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
                     epoch=self._lazy_epoch,
                     csn=self.my_csn,
                     snapshot=self.app.snapshot(),
+                    published_at=self.now,
                 )
                 self.gmcast(self.groups.secondary, update, size_bytes=1024)
                 self._m_lazy_updates_sent.inc()
@@ -605,6 +613,20 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         for pending in deferred:
             assert pending.defer_started_at is not None
             pending.tb = self.now - pending.defer_started_at
+            # Staleness attribution (DESIGN.md §15): the defer wait splits
+            # into the time spent waiting for the publisher to *send*
+            # (lazy-publisher lag) and the time the update spent in flight
+            # (network delay).  An update already in flight when the read
+            # deferred charges the whole wait to the network.
+            published = (
+                update.published_at
+                if update.published_at is not None
+                else self.now
+            )
+            pending.lazy_wait = max(0.0, published - pending.defer_started_at)
+            pending.net_wait = self.now - max(
+                pending.defer_started_at, published
+            )
             self.enqueue_ready(pending)
 
     # ------------------------------------------------------------------

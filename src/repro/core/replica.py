@@ -68,6 +68,14 @@ class PendingRequest:
     defer_started_at: Optional[float] = None
     tb: float = 0.0
     started_at: Optional[float] = None
+    # Staleness attribution (DESIGN.md §15).  A deferred secondary read's
+    # wait splits into lazy-publisher lag + network delay; a behind
+    # primary's stale wait is commit-queue drain time.  The components sum
+    # to the read's observed staleness wait (``tb + stale_wait``).
+    stale_wait_started_at: Optional[float] = None
+    stale_wait: float = 0.0
+    lazy_wait: float = 0.0
+    net_wait: float = 0.0
 
     @property
     def deferred(self) -> bool:
@@ -117,6 +125,17 @@ class ReplicaHandlerBase(GroupEndpoint):
         self._h_service_time = self.metrics.histogram(
             "replica_service_time_seconds", replica=name
         )
+        self._h_stale_wait = self.metrics.histogram(
+            "replica_staleness_wait_seconds", replica=name
+        )
+        self._m_stale_components = {
+            component: self.metrics.counter(
+                "replica_staleness_wait_component_seconds",
+                component=component,
+                replica=name,
+            )
+            for component in ("lazy_publisher", "queue", "network")
+        }
         self.busy_time = 0.0  # accumulated service time (utilization)
 
     def _counter(self, name: str) -> Counter:
@@ -345,6 +364,33 @@ class ReplicaHandlerBase(GroupEndpoint):
             self._m_reads_served.inc()
             if pending.deferred:
                 self._m_deferred_reads_served.inc()
+            # Staleness attribution: observed wait and its decomposition.
+            # The components are computed from the same simulation
+            # timestamps as the wait itself, so they sum to it exactly
+            # (up to float associativity) on every read — including the
+            # zero vector for immediately-fresh reads.
+            observed_wait = pending.tb + pending.stale_wait
+            self._h_stale_wait.observe(observed_wait)
+            if pending.lazy_wait:
+                self._m_stale_components["lazy_publisher"].inc(
+                    pending.lazy_wait
+                )
+            if pending.stale_wait:
+                self._m_stale_components["queue"].inc(pending.stale_wait)
+            if pending.net_wait:
+                self._m_stale_components["network"].inc(pending.net_wait)
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.now,
+                    "replica.attribution",
+                    self.name,
+                    request_id=pending.request.request_id,
+                    observed=observed_wait,
+                    lazy_publisher=pending.lazy_wait,
+                    queue=pending.stale_wait,
+                    network=pending.net_wait,
+                    deferred=pending.deferred,
+                )
             if self.publish_performance:
                 self._publish_performance(ts, tq, pending)
         if self.trace.enabled:

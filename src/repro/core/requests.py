@@ -166,12 +166,19 @@ class GsnQuery:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class LazyUpdate:
-    """State snapshot the lazy publisher multicasts to the secondary group."""
+    """State snapshot the lazy publisher multicasts to the secondary group.
+
+    ``published_at`` is the publisher's send timestamp; secondaries use it
+    to split a deferred read's wait into lazy-publisher lag (time until
+    the publisher sent) and network delay (time in flight) — the staleness
+    attribution of DESIGN.md §15.
+    """
 
     publisher: str
     epoch: int  # publisher-local counter of lazy propagations
     csn: int  # publisher's commit sequence number at snapshot time
     snapshot: Any
+    published_at: Optional[float] = None
 
 
 @dataclass(frozen=True, slots=True)

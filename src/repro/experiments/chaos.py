@@ -38,6 +38,7 @@ from repro.experiments.report import format_table, render_report, save_results
 from repro.groups.membership import MembershipConfig
 from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import Timeline, TimeseriesRecorder
 from repro.sim.process import Process, Timeout
 from repro.sim.rng import Normal, seed_for
 from repro.sim.tracing import Trace
@@ -49,6 +50,7 @@ from repro.workloads.generators import (
 
 READ_QOS = QoSSpec(staleness_threshold=10, deadline=1.0, min_probability=0.5)
 DRAIN_GRACE = 6.0  # post-campaign window for retransmits + state transfers
+TIMELINE_INTERVAL = 0.25  # recorder tick: resolves fault windows of ~1 s
 
 
 @dataclass
@@ -67,6 +69,7 @@ class CampaignResult:
     recovery: dict[str, int] = field(default_factory=dict)
     events: list[str] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)  # MetricsRegistry snapshot
+    timeline: Optional[dict] = None  # Timeline.to_dict() (repro dash input)
 
     @property
     def clean(self) -> bool:
@@ -184,6 +187,9 @@ def run_campaign(
                 service.recover_replica(handler.name)
         sim.schedule(0.4, repair_sweep)
 
+    recorder = TimeseriesRecorder(
+        sim, metrics, interval=TIMELINE_INTERVAL
+    ).start()
     sim.run(until=warmup)
     engine.start()
     sim.schedule(0.4, repair_sweep)
@@ -194,6 +200,7 @@ def run_campaign(
     prober = PeriodicReader(sim, reader, READ_QOS, period=0.2, count=5)
     probes = prober.outcomes
     sim.run(until=sim.now + 5.0)
+    recorder.flush()
 
     violations = _check_invariants(
         testbed, reader_gen.outcomes, updater.outcomes, probes, trace
@@ -223,6 +230,7 @@ def run_campaign(
             f"t={e.time:.3f} {e.kind} {e.target}" for e in engine.events
         ],
         metrics=metrics.snapshot(),
+        timeline=recorder.timeline().to_dict(),
     )
 
 
@@ -416,6 +424,43 @@ def summarize(results: list[CampaignResult]) -> str:
     )
 
 
+def write_metrics_artifact(
+    path: str, results: list[CampaignResult], seeds: list[int]
+) -> None:
+    """JSONL artifact: per-campaign metrics, merged totals, merged timeline."""
+    from repro.experiments.report import write_experiment_artifact
+    from repro.obs.export import metrics_event
+
+    records: list[dict] = []
+    for r in results:
+        if r.metrics:
+            records.append(
+                metrics_event(
+                    r.metrics,
+                    kind="cell",
+                    seed=r.seed,
+                    faults_injected=r.faults_injected,
+                    violations=r.violations,
+                )
+            )
+    merged = MetricsRegistry.merge(*(r.metrics for r in results if r.metrics))
+    records.append(metrics_event(merged, kind="merged"))
+    timelines = [
+        Timeline.from_dict(r.timeline)
+        for r in results
+        if r.timeline is not None
+    ]
+    if timelines:
+        records.append(
+            {
+                "event": "timeline",
+                "kind": "merged",
+                "timeline": Timeline.merge(*timelines).to_dict(),
+            }
+        )
+    write_experiment_artifact(path, "chaos", records, seeds=seeds)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=10, help="number of campaigns")
@@ -453,6 +498,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--save", type=str, default=None)
     parser.add_argument(
+        "--metrics-out", type=str, default=None, help="write telemetry as JSONL"
+    )
+    parser.add_argument(
         "--trace-dir",
         type=str,
         default=None,
@@ -489,6 +537,9 @@ def main(argv: Optional[list[str]] = None) -> int:
             [r.__dict__ for r in results],
             meta={"experiment": "chaos", "seeds": seeds, "duration": duration},
         )
+    if args.metrics_out:
+        write_metrics_artifact(args.metrics_out, results, seeds)
+        print(f"telemetry written to {args.metrics_out}")
 
     dirty = [r for r in results if not r.clean]
     if dirty:

@@ -38,6 +38,11 @@ DEADLINES_MS = (80, 100, 120, 140, 160, 180, 200, 220)
 PROBABILITIES = (0.9, 0.5)
 LAZY_INTERVALS = (2.0, 4.0)
 
+#: Recorder tick for telemetry-bearing sweeps: cells simulate hundreds to
+#: a thousand seconds at a 1 s request delay, so a 5 s tick keeps ~40-200
+#: points per cell.
+TIMELINE_INTERVAL = 5.0
+
 
 @dataclass
 class Figure4Result:
@@ -90,6 +95,7 @@ def run_figure4(
     progress: bool = False,
     collect_metrics: bool = False,
     chunk_size: Optional[int] = None,
+    timeseries: Optional[float] = None,
 ) -> Figure4Result:
     """Run the full sweep, optionally fanned out over ``jobs`` processes.
 
@@ -106,6 +112,7 @@ def run_figure4(
         staleness_threshold=staleness_threshold,
         strategy2=strategy2,
         collect_metrics=collect_metrics,
+        timeseries=timeseries,
     )
     specs = [
         CellSpec(
@@ -156,16 +163,38 @@ def merged_telemetry(result: Figure4Result) -> tuple[dict, Optional[dict]]:
     return metrics, calibration
 
 
+def merged_timeline(result: Figure4Result):
+    """Fold every cell's timeline into one sweep-wide Timeline (or None).
+
+    Cells share the same simulated clock origin, so their tick grids
+    align and the merge is the exact cross-worker/cross-cell total —
+    identical for any jobs value.
+    """
+    from repro.obs.timeseries import Timeline
+
+    timelines = [
+        Timeline.from_dict(c.timeline)
+        for c in result.cells.values()
+        if c.timeline is not None
+    ]
+    if not timelines:
+        return None
+    return Timeline.merge(*timelines)
+
+
 def write_metrics_artifact(
     path: str, result: Figure4Result, meta: Optional[dict] = None
 ) -> None:
     """JSONL telemetry artifact: one meta line, one line per cell, one
-    merged-totals line (the ``repro metrics``/CI consumers parse this)."""
-    from repro.obs.export import metrics_event, write_jsonl
+    merged-totals line, and — when the sweep recorded time series — one
+    merged-timeline line (the ``repro metrics``/``repro dash``/CI
+    consumers parse this)."""
+    from repro.experiments.report import write_experiment_artifact
+    from repro.obs.export import metrics_event
 
-    records = [
-        {"event": "meta", "experiment": "figure4", **(meta or {})}
-    ]
+    meta = dict(meta or {})
+    seed = meta.pop("seed", None)
+    records = []
     for key in sorted(result.cells):
         cell = result.cells[key]
         if cell.metrics is None:
@@ -184,7 +213,12 @@ def write_metrics_artifact(
     records.append(
         metrics_event(merged, kind="merged", calibration=calibration)
     )
-    write_jsonl(path, records)
+    timeline = merged_timeline(result)
+    if timeline is not None:
+        records.append(
+            {"event": "timeline", "kind": "merged", "timeline": timeline.to_dict()}
+        )
+    write_experiment_artifact(path, "figure4", records, seed=seed, **meta)
 
 
 def render(result: Figure4Result) -> str:
@@ -253,10 +287,13 @@ def main(argv: Optional[list[str]] = None) -> None:
         jobs=jobs,
         progress=jobs != 1,
         collect_metrics=metrics_out is not None,
+        timeseries=TIMELINE_INTERVAL if metrics_out is not None else None,
     )
     print(render(result))
     if metrics_out is not None:
-        write_metrics_artifact(metrics_out, result, meta={"quick": quick})
+        write_metrics_artifact(
+            metrics_out, result, meta={"quick": quick, "seed": 0}
+        )
         print(f"\ntelemetry written to {metrics_out}")
     if "--save" in argv:
         from repro.experiments.report import save_results

@@ -56,6 +56,7 @@ from repro.groups.membership import MembershipConfig
 from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
 from repro.obs.detection import DetectionReport, score_detection
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import Timeline, TimeseriesRecorder
 from repro.sim.rng import Normal, seed_for
 from repro.sim.tracing import Trace
 from repro.workloads.generators import OpenLoopUpdater, PeriodicReader
@@ -83,6 +84,7 @@ SCORING_GRACE = 1.0
 
 WARMUP = 2.0
 DRAIN_GRACE = 5.0
+TIMELINE_INTERVAL = 0.25  # recorder tick: resolves 1.5-3.5 s gray windows
 
 
 def gray_chaos_config(duration: float) -> ChaosConfig:
@@ -136,6 +138,7 @@ class GrayCellResult:
     detection: Optional[dict] = None  # DetectionReport.to_dict(), detector mode
     events: list[str] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    timeline: Optional[dict] = None  # Timeline.to_dict() (repro dash input)
 
     @property
     def clean(self) -> bool:
@@ -221,9 +224,13 @@ def run_gray_cell(
         metrics=metrics,
     )
 
+    recorder = TimeseriesRecorder(
+        sim, metrics, interval=TIMELINE_INTERVAL
+    ).start()
     sim.run(until=WARMUP)
     engine.start()
     sim.run(until=WARMUP + duration + DRAIN_GRACE)
+    recorder.flush()
 
     recovery = reader_client.recovery_stats()
     detector = reader_client.detector
@@ -272,6 +279,7 @@ def run_gray_cell(
         detection=None if detection is None else detection.to_dict(),
         events=[f"t={e.time:.3f} {e.kind} {e.target}" for e in engine.events],
         metrics=metrics.snapshot(),
+        timeline=recorder.timeline().to_dict(),
     )
     if result.violations and trace_dir is not None:
         directory = Path(trace_dir)
@@ -441,12 +449,11 @@ def summarize(results: list[GrayCellResult]) -> str:
 def write_metrics_artifact(
     path: str, results: list[GrayCellResult], seeds: list[int]
 ) -> None:
-    """JSONL artifact: one record per cell plus the pooled comparison."""
-    from repro.obs.export import write_jsonl
+    """JSONL artifact: one record per cell, the pooled comparison, and a
+    per-mode merged timeline (``repro dash`` input)."""
+    from repro.experiments.report import write_experiment_artifact
 
-    records: list[dict] = [
-        {"event": "meta", "experiment": "gray", "seeds": seeds}
-    ]
+    records: list[dict] = []
     for r in results:
         records.append(
             {
@@ -481,7 +488,21 @@ def write_metrics_artifact(
                 "samples": len(pooled),
             }
         )
-    write_jsonl(path, records)
+    for mode in ("detector", "baseline"):
+        timelines = [
+            Timeline.from_dict(r.timeline)
+            for r in results
+            if r.mode == mode and r.timeline is not None
+        ]
+        if timelines:
+            records.append(
+                {
+                    "event": "timeline",
+                    "mode": mode,
+                    "timeline": Timeline.merge(*timelines).to_dict(),
+                }
+            )
+    write_experiment_artifact(path, "gray", records, seeds=seeds)
 
 
 def main(argv: Optional[list[str]] = None) -> int:

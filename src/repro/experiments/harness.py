@@ -28,6 +28,12 @@ from repro.core.requests import PerfBroadcast, StalenessInfo
 from repro.core.selection import ReplicaView, SelectionStrategy, StateBasedSelection
 from repro.obs.calibration import CalibrationTracker
 from repro.obs.metrics import MetricsRegistry, decode_snapshot, encode_snapshot
+from repro.obs.timeseries import (
+    Timeline,
+    TimeseriesRecorder,
+    decode_timeline,
+    encode_timeline,
+)
 from repro.sim.rng import RngRegistry
 from repro.stats.confidence import binomial_confidence_interval
 from repro.workloads.scenarios import build_paper_scenario
@@ -207,6 +213,9 @@ class Figure4Cell:
     # as plain dicts so cells stay picklable for the parallel runner.
     metrics: Optional[dict] = None
     calibration: Optional[dict] = None
+    # Timeline payload, populated only with ``timeseries=<interval>``: a
+    # Timeline.to_dict() (plain dict, picklable; see obs/timeseries.py).
+    timeline: Optional[dict] = None
 
     def meets_qos(self) -> bool:
         """Did the observed failure probability stay within 1 − P_c?"""
@@ -222,16 +231,28 @@ def pack_figure4_cell(cell: Figure4Cell) -> Figure4Cell:
     the cell cross the process boundary as a handful of bytes objects
     instead.  Cells without telemetry pass through untouched.
     """
-    if cell.metrics is None:
+    replacements: dict = {}
+    if cell.metrics is not None:
+        replacements["metrics"] = encode_snapshot(cell.metrics)
+    if cell.timeline is not None:
+        replacements["timeline"] = encode_timeline(
+            Timeline.from_dict(cell.timeline)
+        )
+    if not replacements:
         return cell
-    return dataclasses.replace(cell, metrics=encode_snapshot(cell.metrics))
+    return dataclasses.replace(cell, **replacements)
 
 
 def unpack_figure4_cell(cell: Figure4Cell) -> Figure4Cell:
     """Parent-side ``decode`` hook — exact inverse of :func:`pack_figure4_cell`."""
-    if not isinstance(cell.metrics, bytes):
+    replacements: dict = {}
+    if isinstance(cell.metrics, bytes):
+        replacements["metrics"] = decode_snapshot(cell.metrics)
+    if isinstance(cell.timeline, bytes):
+        replacements["timeline"] = decode_timeline(cell.timeline).to_dict()
+    if not replacements:
         return cell
-    return dataclasses.replace(cell, metrics=decode_snapshot(cell.metrics))
+    return dataclasses.replace(cell, **replacements)
 
 
 def run_figure4_cell(
@@ -245,6 +266,7 @@ def run_figure4_cell(
     warmup_requests: int = 0,
     request_delay: float = 1.0,
     collect_metrics: bool = False,
+    timeseries: Optional[float] = None,
 ) -> Figure4Cell:
     """Run the §6 testbed once and summarize client 2's reads.
 
@@ -253,8 +275,13 @@ def run_figure4_cell(
     returned cell carries their serialized payloads (mergeable across
     cells with :meth:`MetricsRegistry.merge` / :meth:`CalibrationTracker
     .merge`).
+
+    ``timeseries`` attaches a :class:`TimeseriesRecorder` at that tick
+    interval (simulated seconds) and returns the cell with a
+    ``timeline`` payload; ``None`` (the default) schedules nothing at
+    all, so undashboarded runs stay bit-identical.
     """
-    registry = MetricsRegistry() if collect_metrics else None
+    registry = MetricsRegistry() if collect_metrics or timeseries else None
     tracker = CalibrationTracker() if collect_metrics else None
     scenario = build_paper_scenario(
         deadline=deadline,
@@ -269,7 +296,14 @@ def run_figure4_cell(
         metrics=registry,
         calibration=tracker,
     )
+    recorder = None
+    if timeseries is not None:
+        recorder = TimeseriesRecorder(
+            scenario.sim, registry, interval=timeseries
+        ).start()
     scenario.run()
+    if recorder is not None:
+        recorder.flush()
     client2 = scenario.client2
     reads = len(client2.read_outcomes)
     failures = client2.timing_failure_count()
@@ -289,6 +323,13 @@ def run_figure4_cell(
         timing_failures=failures,
         deferred_fraction=client2.deferred_fraction(),
         mean_response_time=client2.mean_response_time(),
-        metrics=registry.snapshot() if registry is not None else None,
+        metrics=(
+            registry.snapshot()
+            if registry is not None and collect_metrics
+            else None
+        ),
         calibration=tracker.to_dict() if tracker is not None else None,
+        timeline=(
+            recorder.timeline().to_dict() if recorder is not None else None
+        ),
     )

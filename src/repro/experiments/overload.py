@@ -56,6 +56,7 @@ from repro.experiments.runner import CellSpec, run_cells
 from repro.groups.membership import MembershipConfig
 from repro.net.chaos import ChaosConfig, ChaosEngine, ChaosTargets
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import Timeline, TimeseriesRecorder
 from repro.sim.rng import Normal, seed_for
 from repro.sim.tracing import Trace
 from repro.workloads.generators import (
@@ -75,6 +76,10 @@ SHED_CONFIG = OverloadConfig(queue_capacity=16, defer_capacity=64)
 
 WARMUP = 2.0
 DRAIN_GRACE = 5.0
+
+#: Recorder tick for overload cells — storms last 1-2.5 s, so a 100 ms
+#: grid resolves the burn-rate ramp the SLO engine alerts on.
+TIMELINE_INTERVAL = 0.1
 
 
 def storm_chaos_config(duration: float) -> ChaosConfig:
@@ -116,6 +121,9 @@ class OverloadCellResult:
     recovery: dict[str, int] = field(default_factory=dict)
     events: list[str] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    # Timeline.to_dict() of the cell's 100 ms-tick recorder (SLO engine +
+    # ``repro dash`` input); plain dict so cells stay picklable.
+    timeline: Optional[dict] = None
 
     @property
     def clean(self) -> bool:
@@ -148,8 +156,19 @@ def run_overload_cell(
     mode: str,
     duration: float = 12.0,
     trace_dir: Optional[str] = None,
+    calm: bool = False,
+    degradation_config: Optional[DegradationConfig] = None,
 ) -> OverloadCellResult:
-    """Run one seeded storm campaign in ``shed`` or ``unbounded`` mode."""
+    """Run one seeded storm campaign in ``shed`` or ``unbounded`` mode.
+
+    ``calm=True`` keeps everything — workload, seeding, recorder —
+    identical but never starts the chaos engine, giving the storm-free
+    control run the SLO burn-alert tests compare against.
+
+    ``degradation_config`` overrides the clients' ladder shape; the SLO
+    acceptance campaign uses a cautious ladder (longer step cooldown) so
+    the burn-rate pager is expected to lead the slide into CRITICAL.
+    """
     if mode not in ("shed", "unbounded"):
         raise ValueError(f"unknown mode {mode!r}")
     shed = mode == "shed"
@@ -180,8 +199,9 @@ def run_overload_cell(
 
     mapper = PriorityMapper()
     policy = RetryPolicy(max_retries=1)
-    vip_ladder = DegradationPolicy(DegradationConfig(), mapper) if shed else None
-    bulk_ladder = DegradationPolicy(DegradationConfig(), mapper) if shed else None
+    ladder_config = degradation_config or DegradationConfig()
+    vip_ladder = DegradationPolicy(ladder_config, mapper) if shed else None
+    bulk_ladder = DegradationPolicy(ladder_config, mapper) if shed else None
     feed = service.create_client("feed", read_only_methods={"get"})
     vip = service.create_client(
         "vip",
@@ -226,9 +246,14 @@ def run_overload_cell(
         rate_controller=controller,
     )
 
+    recorder = TimeseriesRecorder(
+        sim, metrics, interval=TIMELINE_INTERVAL
+    ).start()
     sim.run(until=WARMUP)
-    engine.start()
+    if not calm:
+        engine.start()
     sim.run(until=WARMUP + duration + DRAIN_GRACE)
+    recorder.flush()
 
     storms = sum(1 for e in engine.events if e.kind == "load-storm")
     recovery: dict[str, int] = {}
@@ -248,7 +273,8 @@ def run_overload_cell(
 
     violations = (
         _check_overload_invariants(
-            testbed, (vip, bulk), (vip_ladder, bulk_ladder), storms, trace
+            testbed, (vip, bulk), (vip_ladder, bulk_ladder), storms, trace,
+            expect_storms=not calm,
         )
         if shed
         else []
@@ -281,6 +307,7 @@ def run_overload_cell(
         recovery=recovery,
         events=[f"t={e.time:.3f} {e.kind} {e.target}" for e in engine.events],
         metrics=metrics.snapshot(),
+        timeline=recorder.timeline().to_dict(),
     )
     if result.violations and trace_dir is not None:
         directory = Path(trace_dir)
@@ -303,7 +330,8 @@ def run_overload_cell(
 
 
 def _check_overload_invariants(
-    testbed, clients, ladders, storms: int, trace: Trace
+    testbed, clients, ladders, storms: int, trace: Trace,
+    expect_storms: bool = True,
 ) -> list[str]:
     violations: list[str] = []
     service = testbed.service
@@ -357,7 +385,7 @@ def _check_overload_invariants(
                 f"reads but judged {client.reads_judged}"
             )
 
-    if storms == 0:
+    if expect_storms and storms == 0:
         violations.append("storm: no load storm was injected")
     return violations
 
@@ -456,12 +484,11 @@ def summarize(results: list[OverloadCellResult]) -> str:
 def write_metrics_artifact(
     path: str, results: list[OverloadCellResult], seeds: list[int]
 ) -> None:
-    """JSONL artifact: one record per cell plus the pooled comparison."""
-    from repro.obs.export import write_jsonl
+    """JSONL artifact: one record per cell, the pooled comparison, and a
+    per-mode merged timeline (``repro dash`` input)."""
+    from repro.experiments.report import write_experiment_artifact
 
-    records: list[dict] = [
-        {"event": "meta", "experiment": "overload", "seeds": seeds}
-    ]
+    records: list[dict] = []
     for r in results:
         records.append(
             {
@@ -493,7 +520,21 @@ def write_metrics_artifact(
                 "samples": len(pooled),
             }
         )
-    write_jsonl(path, records)
+    for mode in ("shed", "unbounded"):
+        timelines = [
+            Timeline.from_dict(r.timeline)
+            for r in results
+            if r.mode == mode and r.timeline is not None
+        ]
+        if timelines:
+            records.append(
+                {
+                    "event": "timeline",
+                    "mode": mode,
+                    "timeline": Timeline.merge(*timelines).to_dict(),
+                }
+            )
+    write_experiment_artifact(path, "overload", records, seeds=seeds)
 
 
 def main(argv: Optional[list[str]] = None) -> int:

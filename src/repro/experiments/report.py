@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 
 def format_table(
@@ -177,6 +178,62 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
     return value
+
+
+def run_metadata(
+    experiment: str,
+    seed: Any = None,
+    config: Any = None,
+    **extra: Any,
+) -> dict:
+    """The unified ``meta`` record every experiment JSONL artifact leads with.
+
+    Stamps what a later reader needs to reproduce or compare the run: the
+    root seed, a short hash of the run configuration (plus the config
+    itself), the repro version, and the cores the run could actually use.
+    ``extra`` keys ride along verbatim (and may override the stamps).
+    """
+    from repro import __version__
+    from repro.experiments.runner import available_cpus
+
+    meta: dict = {
+        "event": "meta",
+        "experiment": experiment,
+        "repro_version": __version__,
+        "usable_cores": available_cpus(),
+    }
+    if seed is not None:
+        meta["root_seed"] = seed
+    if config is not None:
+        jsonable = _jsonable(config)
+        canonical = json.dumps(jsonable, sort_keys=True, default=str)
+        meta["config"] = jsonable
+        meta["config_hash"] = hashlib.sha256(
+            canonical.encode("utf-8")
+        ).hexdigest()[:16]
+    meta.update(extra)
+    return meta
+
+
+def write_experiment_artifact(
+    path: str | Path,
+    experiment: str,
+    records: Iterable[dict],
+    seed: Any = None,
+    config: Any = None,
+    **extra: Any,
+) -> Path:
+    """Write a JSONL artifact led by the unified :func:`run_metadata` line.
+
+    The one writer behind ``--metrics-out`` across figure4, chaos,
+    overload, gray, and scale, so every artifact opens with the same
+    traceability stamps instead of each campaign rolling its own meta
+    record.
+    """
+    from repro.obs.export import write_jsonl
+
+    head = run_metadata(experiment, seed=seed, config=config, **extra)
+    return write_jsonl(path, [head, *records])
 
 
 def save_results(path: str | Path, payload: Any, meta: dict | None = None) -> Path:

@@ -97,6 +97,9 @@ class ScaleCellResult:
     sample_deferred: int = 0
     cdf_points: tuple[float, ...] = ()
     cdf_counts: tuple[int, ...] = ()
+    # Timeline.to_dict() of an optional per-cell recorder (``repro dash``
+    # input); plain dict so cells stay picklable for the runner.
+    timeline: Optional[dict] = None
 
     @property
     def arrivals_per_wall_second(self) -> float:
@@ -123,6 +126,7 @@ def run_scale_cell(
     probe_reads: int = 1,
     probe_updates: int = 1,
     drain: float = 5.0,
+    timeseries: Optional[float] = None,
 ) -> ScaleCellResult:
     """Run one cell with either tier and summarize it as a Figure4Cell.
 
@@ -143,10 +147,24 @@ def run_scale_cell(
         else users * update_rate_per_user
     )
     qos = QoSSpec(staleness_threshold, deadline, min_probability)
-    testbed = build_testbed(scale_config(lazy_update_interval), seed=seed)
+    registry = None
+    if timeseries is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    testbed = build_testbed(
+        scale_config(lazy_update_interval), seed=seed, metrics=registry
+    )
     client = testbed.service.create_client(
         "scale-gw", read_only_methods={"get"}, default_qos=qos
     )
+    recorder = None
+    if registry is not None:
+        from repro.obs.timeseries import TimeseriesRecorder
+
+        recorder = TimeseriesRecorder(
+            testbed.sim, registry, interval=timeseries
+        ).start()
     # Response-CDF comparison grid: around the deadline, where the
     # timing-failure decision lives.
     cdf_points = (0.5 * deadline, deadline, 1.5 * deadline)
@@ -173,6 +191,8 @@ def run_scale_cell(
             warmup=warmup,
         )
         testbed.sim.run(until=start + duration + drain)
+        if recorder is not None:
+            recorder.flush()
         wall = time.perf_counter() - t0
         stats = pool.stats
         reads = stats.reads
@@ -211,6 +231,11 @@ def run_scale_cell(
             sample_deferred=stats.deferred_modeled,
             cdf_points=cdf_points,
             cdf_counts=tuple(int(c) for c in counts),
+            timeline=(
+                recorder.timeline().to_dict()
+                if recorder is not None
+                else None
+            ),
         )
 
     # ---- discrete reference ------------------------------------------
@@ -224,6 +249,8 @@ def run_scale_cell(
             rate=update_rate, duration=duration,
         )
     testbed.sim.run(until=start + duration + drain)
+    if recorder is not None:
+        recorder.flush()
     wall = time.perf_counter() - t0
     cutoff = start + warmup
     records = [(t, o) for t, o in reader.records if t >= cutoff]
@@ -266,6 +293,9 @@ def run_scale_cell(
         sample_deferred=deferred,
         cdf_points=cdf_points,
         cdf_counts=counts,
+        timeline=(
+            recorder.timeline().to_dict() if recorder is not None else None
+        ),
     )
 
 
@@ -344,6 +374,7 @@ def run_scale_validation(
     level: float = 0.95,
     jobs: Optional[int] = 1,
     progress: bool = False,
+    timeseries: Optional[float] = None,
 ) -> ScaleValidationResult:
     """Run both tiers per population and compare (constant cell demand).
 
@@ -363,6 +394,7 @@ def run_scale_validation(
         total_read_rate=total_read_rate,
         total_update_rate=total_update_rate,
         batch_window=batch_window,
+        timeseries=timeseries,
     )
     specs = [
         CellSpec(
@@ -431,10 +463,12 @@ def run_scale_surface(
     calibration_duration: float = 30.0,
     jobs: Optional[int] = 1,
     progress: bool = False,
+    timeseries: Optional[float] = None,
 ) -> ScaleSurfaceResult:
     """The Figure-4-style surface at population scale, aggregate tier only."""
     common = dict(
         duration=duration, warmup=warmup, seed=seed, mode="aggregate",
+        timeseries=timeseries,
     )
     specs = [
         CellSpec(
@@ -580,6 +614,29 @@ def _as_payload(result_v, result_s, meta):
     return payload
 
 
+def _collect_timelines(result_v, result_s) -> list[tuple[str, dict]]:
+    """``(kind, merged Timeline.to_dict())`` per campaign section."""
+    from repro.obs.timeseries import Timeline
+
+    out: list[tuple[str, dict]] = []
+    groups = []
+    if result_v is not None:
+        cells = [c.aggregate for c in result_v.cells]
+        cells += [c.discrete for c in result_v.cells]
+        groups.append(("validation", cells))
+    if result_s is not None:
+        groups.append(("surface", list(result_s.cells.values())))
+    for kind, cells in groups:
+        timelines = [
+            Timeline.from_dict(c.timeline)
+            for c in cells
+            if c.timeline is not None
+        ]
+        if timelines:
+            out.append((kind, Timeline.merge(*timelines).to_dict()))
+    return out
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     validate = "--validate" in argv
@@ -595,6 +652,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         users_list = [
             int(u) for u in argv[argv.index("--users") + 1].split(",")
         ]
+    # Record 1 s-tick timelines only when an artifact will carry them.
+    timeseries = 1.0 if "--metrics-out" in argv else None
 
     result_v = None
     result_s = None
@@ -605,12 +664,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         # that must clear its wall-clock budget.
         result_v = run_scale_validation(
             populations=(100,), seed=seed, duration=120.0, warmup=15.0,
-            jobs=jobs, progress=jobs != 1,
+            jobs=jobs, progress=jobs != 1, timeseries=timeseries,
         )
         result_s = run_scale_surface(
             users_list=(1_000_000,), deadlines_ms=(160,),
             duration=30.0, warmup=5.0, seed=seed,
-            calibration_duration=15.0, jobs=1,
+            calibration_duration=15.0, jobs=1, timeseries=timeseries,
         )
         budget = 60.0
         cell = result_s.cells[(1_000_000, 160)]
@@ -632,6 +691,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             warmup=15.0 if quick else 20.0,
             jobs=jobs,
             progress=jobs != 1,
+            timeseries=timeseries,
         )
     else:
         result_s = run_scale_surface(
@@ -642,6 +702,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             seed=seed,
             jobs=jobs,
             progress=jobs != 1,
+            timeseries=timeseries,
         )
 
     if result_v is not None:
@@ -663,6 +724,26 @@ def main(argv: Optional[list[str]] = None) -> int:
         }
         save_results(path, _as_payload(result_v, result_s, meta))
         print(f"\nsaved to {path}")
+
+    if "--metrics-out" in argv:
+        from repro.experiments.report import write_experiment_artifact
+
+        path = argv[argv.index("--metrics-out") + 1]
+        payload = _as_payload(result_v, result_s, {})
+        records = [
+            {"event": section, **payload[section]}
+            for section in ("validation", "surface")
+            if section in payload
+        ]
+        for kind, timelines in _collect_timelines(result_v, result_s):
+            records.append(
+                {"event": "timeline", "kind": kind, "timeline": timelines}
+            )
+        write_experiment_artifact(
+            path, "scale", records, seed=seed,
+            quick=quick, smoke=smoke, validate=validate,
+        )
+        print(f"telemetry written to {path}")
 
     if failures:
         for line in failures:

@@ -27,6 +27,7 @@ from repro.experiments.report import render_report
 from repro.obs.calibration import CalibrationTracker
 from repro.obs.export import metrics_event, prometheus_text, write_jsonl
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeseriesRecorder
 from repro.workloads.scenarios import build_paper_scenario
 
 
@@ -39,10 +40,13 @@ def run_instrumented_cell(
     staleness_threshold: int = 2,
     watch: Optional[float] = None,
     watch_sink=print,
+    timeseries: Optional[float] = None,
 ) -> tuple[MetricsRegistry, CalibrationTracker, object]:
     """Run one §6 cell with telemetry on; returns (metrics, calibration,
     scenario).  ``watch`` prints counter deltas every that-many *simulated*
-    seconds through ``watch_sink``."""
+    seconds through ``watch_sink``.  ``timeseries`` additionally attaches
+    a :class:`TimeseriesRecorder` at that tick interval; the flushed
+    recorder rides back as ``scenario.recorder``."""
     metrics = MetricsRegistry()
     calibration = CalibrationTracker()
     scenario = build_paper_scenario(
@@ -55,6 +59,11 @@ def run_instrumented_cell(
         metrics=metrics,
         calibration=calibration,
     )
+    recorder = None
+    if timeseries is not None and timeseries > 0:
+        recorder = TimeseriesRecorder(
+            scenario.sim, metrics, interval=timeseries
+        ).start()
     if watch is not None and watch > 0:
         sim = scenario.sim
         last = {"snapshot": metrics.snapshot()}
@@ -76,6 +85,9 @@ def run_instrumented_cell(
 
         sim.schedule(watch, dump)
     scenario.run()
+    if recorder is not None:
+        recorder.flush()
+    scenario.recorder = recorder
     return metrics, calibration, scenario
 
 
@@ -103,6 +115,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--metrics-out", metavar="PATH", help="write the JSONL telemetry artifact"
     )
     parser.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        help="record a 1 s-tick time series and write it as JSONL "
+        "(repro dash input)",
+    )
+    parser.add_argument(
         "--prometheus", metavar="PATH", help="write the text exposition format"
     )
     parser.add_argument(
@@ -113,6 +131,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     requests = 150 if args.quick else args.requests
+    # --watch gets the recorder at the watch cadence for free; otherwise
+    # a 1 s tick when a timeline artifact was asked for.
+    timeseries = None
+    if args.watch is not None and args.watch > 0:
+        timeseries = args.watch
+    elif args.timeline_out:
+        timeseries = 1.0
     metrics, calibration, scenario = run_instrumented_cell(
         deadline=args.deadline_ms / 1000.0,
         min_probability=args.pc,
@@ -121,7 +146,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         seed=args.seed,
         staleness_threshold=args.staleness,
         watch=args.watch,
+        timeseries=timeseries,
     )
+    recorder = scenario.recorder
 
     recovery = dict(scenario.client2.handler.recovery_stats())
     snapshot = metrics.snapshot()
@@ -136,6 +163,33 @@ def main(argv: Optional[list[str]] = None) -> int:
             ),
         )
     )
+
+    if recorder is not None and args.watch is not None:
+        from repro.experiments.dashboard import render_timeline
+
+        print()
+        print(render_timeline(recorder.timeline()))
+
+    if args.timeline_out:
+        from repro.experiments.report import write_experiment_artifact
+
+        write_experiment_artifact(
+            args.timeline_out,
+            "metrics",
+            [
+                {
+                    "event": "timeline",
+                    "kind": "cell",
+                    "timeline": recorder.timeline().to_dict(),
+                }
+            ],
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+            pc=args.pc,
+            lui=args.lui,
+            requests=requests,
+        )
+        print(f"\ntimeline written to {args.timeline_out}")
 
     if args.metrics_out:
         write_jsonl(
@@ -161,7 +215,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.prometheus:
         from pathlib import Path
 
-        Path(args.prometheus).write_text(prometheus_text(snapshot))
+        text = prometheus_text(snapshot)
+        if recorder is not None:
+            from repro.obs.export import prometheus_timeseries_text
+
+            text += prometheus_timeseries_text(recorder.timeline())
+        Path(args.prometheus).write_text(text)
         print(f"prometheus text written to {args.prometheus}")
 
     if args.check:

@@ -11,9 +11,15 @@ doing:
   (selection, sequencing, deferral, retries, hedges) as one tree;
 * :mod:`repro.obs.calibration` — reliability diagrams and Brier scores for
   predicted ``P_c(d)`` vs. observed deadline outcomes, per strategy;
-* :mod:`repro.obs.export` — JSONL event streams and Prometheus-style text.
+* :mod:`repro.obs.export` — JSONL event streams and Prometheus-style text;
+* :mod:`repro.obs.timeseries` — simulation-clock time series over registry
+  snapshots: fixed-interval deltas, commutative cross-worker merge, and a
+  compact binary codec;
+* :mod:`repro.obs.slo` — declarative SLOs over timelines: rolling
+  compliance, multi-window error-budget burn alerts, and the per-read
+  staleness attribution summary.
 
-See DESIGN.md §10 for the architecture.
+See DESIGN.md §10 and §15 for the architecture.
 """
 
 from repro.obs.calibration import CalibrationBucket, CalibrationTracker
@@ -25,8 +31,25 @@ from repro.obs.detection import (
 from repro.obs.export import (
     metrics_event,
     prometheus_text,
+    prometheus_timeseries_text,
     summarize_histogram,
     write_jsonl,
+)
+from repro.obs.slo import (
+    ATTRIBUTION_COMPONENTS,
+    BurnAlert,
+    SloEngine,
+    SloReport,
+    SloSpec,
+    attribution_summary,
+    parse_series,
+)
+from repro.obs.timeseries import (
+    TIMELINE_CODEC_VERSION,
+    Timeline,
+    TimeseriesRecorder,
+    decode_timeline,
+    encode_timeline,
 )
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -46,6 +69,8 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "ATTRIBUTION_COMPONENTS",
+    "BurnAlert",
     "CalibrationBucket",
     "CalibrationTracker",
     "Counter",
@@ -57,11 +82,22 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "SPAN_CATEGORY",
+    "SloEngine",
+    "SloReport",
+    "SloSpec",
     "Span",
+    "TIMELINE_CODEC_VERSION",
+    "Timeline",
+    "TimeseriesRecorder",
+    "attribution_summary",
     "build_span_trees",
+    "decode_timeline",
     "emit_span",
+    "encode_timeline",
     "metrics_event",
+    "parse_series",
     "prometheus_text",
+    "prometheus_timeseries_text",
     "request_id_of",
     "span_root",
     "score_detection",

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Optional, Union
 
 __all__ = [
     "prometheus_text",
+    "prometheus_timeseries_text",
     "metrics_event",
     "write_jsonl",
     "summarize_histogram",
@@ -66,6 +67,59 @@ def prometheus_text(snapshot: Dict[str, dict]) -> str:
             value = entry["value"]
             text = f"{value:g}" if isinstance(value, float) else str(value)
             lines.append(f"{name}{label_part} {text}")
+    return "\n".join(lines) + "\n"
+
+
+def prometheus_timeseries_text(timeline, window: int = 1) -> str:
+    """Render a :class:`repro.obs.timeseries.Timeline`'s most recent state
+    as Prometheus gauges.
+
+    A scrape endpoint can only serve *current* values, so each series
+    collapses to its last ``window`` ticks: counters become ``<name>_rate``
+    (per-second over the window), gauges become ``<name>_last``, and
+    histograms become ``<name>_p50``/``_p95``/``_p99`` plus ``<name>_rate``
+    (observations per second).  Labels are preserved verbatim.
+    """
+    if timeline is None or timeline.length == 0:
+        return ""
+    window = max(1, min(window, timeline.length))
+    lo = timeline.length - window
+    hi = timeline.length
+    span = window * timeline.interval
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} gauge")
+
+    for series in sorted(timeline.series):
+        entry = timeline.series[series]
+        name, label_part = _split_series(series)
+        if entry["type"] == "counter":
+            rate = sum(entry["deltas"][lo:hi]) / span
+            type_line(f"{name}_rate")
+            lines.append(f"{name}_rate{label_part} {rate:g}")
+        elif entry["type"] == "gauge":
+            present = [
+                v for v in entry["values"][lo:hi] if v is not None
+            ]
+            if not present:
+                continue
+            type_line(f"{name}_last")
+            lines.append(f"{name}_last{label_part} {present[-1]:g}")
+        else:  # histogram
+            for q, suffix in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                ticks = timeline.quantiles(series, q)[lo:hi]
+                quantile = ticks[-1] if ticks else 0.0
+                type_line(f"{name}_{suffix}")
+                lines.append(f"{name}_{suffix}{label_part} {quantile:g}")
+            rate = sum(entry["totals"][lo:hi]) / span
+            type_line(f"{name}_rate")
+            lines.append(f"{name}_rate{label_part} {rate:g}")
+    if not lines:
+        return ""
     return "\n".join(lines) + "\n"
 
 

@@ -232,6 +232,24 @@ class MetricsRegistry:
             instrument = self._instruments[key] = factory()
         return instrument
 
+    # -- introspection --------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of registered instruments (cheap; never shrinks)."""
+        return len(self._instruments)
+
+    def instruments(self) -> list:
+        """``[(series, type, instrument)]`` in creation order.
+
+        The live-instrument view behind :class:`~repro.obs.timeseries.
+        TimeseriesRecorder`: reading instruments directly skips the
+        per-tick dict/string building a full :meth:`snapshot` pays.
+        """
+        return [
+            (_series_name(name, key), self._types[name], instrument)
+            for (name, key), instrument in self._instruments.items()
+        ]
+
     # -- snapshots ------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, dict]:

@@ -22,6 +22,7 @@ from repro.core.service import ServiceConfig, Testbed, build_testbed
 from repro.obs.calibration import CalibrationTracker
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.rng import Distribution, Normal
+from repro.sim.tracing import Trace
 from repro.workloads.clients import AlternatingClient, ClientWorkloadConfig
 
 
@@ -74,11 +75,14 @@ def build_paper_scenario(
     warmup_requests: int = 0,
     metrics: Optional[MetricsRegistry] = None,
     calibration: Optional[CalibrationTracker] = None,
+    trace: Optional[Trace] = None,
 ) -> PaperScenario:
     """The §6 testbed with client 2's QoS as the swept variable.
 
     ``strategy2`` swaps client 2's selection policy (baseline ablations);
-    ``warmup_requests`` excludes leading requests from client statistics.
+    ``warmup_requests`` excludes leading requests from client statistics;
+    ``trace`` enables event tracing (e.g. the per-read
+    ``replica.attribution`` staleness decomposition records).
     """
     config = ServiceConfig(
         name="svc",
@@ -88,7 +92,9 @@ def build_paper_scenario(
         window_size=window_size,
         read_service_time=service_time or Normal(0.100, 0.050, floor=0.002),
     )
-    testbed = build_testbed(config, seed=seed, metrics=metrics, calibration=calibration)
+    testbed = build_testbed(
+        config, seed=seed, metrics=metrics, calibration=calibration, trace=trace
+    )
     service = testbed.service
 
     qos1 = client1_qos or QoSSpec(

@@ -114,7 +114,7 @@ def test_suite_dumps_trace_artifact_on_violation(tmp_path, monkeypatch):
     monkeypatch.setattr(
         overload,
         "_check_overload_invariants",
-        lambda *args: ["synthetic: planted"],
+        lambda *args, **kwargs: ["synthetic: planted"],
     )
     result = run_overload_cell(
         seed=42, mode="shed", duration=4.0, trace_dir=str(tmp_path)
@@ -142,9 +142,10 @@ def test_metrics_artifact_round_trips(short_pair, tmp_path):
     path = tmp_path / "overload.jsonl"
     write_metrics_artifact(str(path), list(short_pair), seeds=[202])
     records = [json.loads(line) for line in path.read_text().splitlines()]
-    assert records[0] == {
-        "event": "meta", "experiment": "overload", "seeds": [202]
-    }
+    meta = records[0]
+    assert meta["event"] == "meta"
+    assert meta["experiment"] == "overload"
+    assert meta["seeds"] == [202]
     cells = [r for r in records if r["event"] == "cell"]
     pooled = [r for r in records if r["event"] == "pooled"]
     assert {c["mode"] for c in cells} == {"shed", "unbounded"}

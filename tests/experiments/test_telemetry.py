@@ -117,6 +117,9 @@ def test_figure4_metrics_artifact(tmp_path):
     path = tmp_path / "fig4.jsonl"
     write_metrics_artifact(str(path), result, meta={"quick": True})
     records = [json.loads(line) for line in path.read_text().splitlines()]
-    assert records[0] == {"event": "meta", "experiment": "figure4", "quick": True}
+    meta = records[0]
+    assert meta["event"] == "meta"
+    assert meta["experiment"] == "figure4"
+    assert meta["quick"] is True
     assert [r["event"] for r in records[1:]] == ["cell", "merged"]
     assert records[1]["deadline_ms"] == 200
