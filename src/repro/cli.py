@@ -8,6 +8,7 @@ Commands:
 * ``validation`` — staleness-model calibration + hot-spot avoidance;
 * ``chaos`` — seeded fault campaigns audited by consistency invariants;
 * ``overload`` — load-storm campaigns: shedding vs. unbounded queues;
+* ``adaptive`` — closed-loop SLA guardian vs. a static consistency grid;
 * ``gray`` — gray-failure campaigns: φ-accrual detection vs. fixed timeouts;
 * ``metrics`` — one instrumented cell: telemetry + calibration report;
 * ``dash`` — sparkline/SLO dashboard over a timeline artifact (``--watch``
@@ -112,6 +113,25 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     if args.trace_dir:
         argv += ["--trace-dir", args.trace_dir]
     return overload.main(argv + _jobs_argv(args))
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from repro.experiments import adaptive
+
+    argv = ["--seeds", str(args.seeds), "--seed", str(args.seed)]
+    if args.quick:
+        argv.append("--quick")
+    if args.duration is not None:
+        argv += ["--duration", str(args.duration)]
+    if args.check:
+        argv.append("--check")
+    if args.save:
+        argv += ["--save", args.save]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    return adaptive.main(argv + _jobs_argv(args))
 
 
 def _cmd_gray(args: argparse.Namespace) -> int:
@@ -354,6 +374,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     po.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
     po.set_defaults(func=_cmd_overload)
+
+    pad = sub.add_parser(
+        "adaptive",
+        help="closed-loop SLA guardian vs. static knob grid",
+    )
+    pad.add_argument("--seeds", type=int, default=3, metavar="N")
+    pad.add_argument("--seed", type=int, default=0, help="base seed")
+    pad.add_argument("--duration", type=float, default=None, metavar="SECONDS")
+    pad.add_argument("--quick", action="store_true")
+    pad.add_argument(
+        "--check", action="store_true", help="exit non-zero on invariant breach"
+    )
+    pad.add_argument("--save", metavar="PATH", help="write results as JSON")
+    pad.add_argument(
+        "--metrics-out", metavar="PATH", help="write telemetry as JSONL"
+    )
+    pad.add_argument(
+        "--trace-dir", metavar="DIR", help="dump traces of violating campaigns"
+    )
+    pad.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
+    pad.set_defaults(func=_cmd_adaptive)
 
     pgr = sub.add_parser(
         "gray", help="gray failures: φ-accrual detector vs. fixed timeouts"

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.core.controller import QosAdjustment
 from repro.core.detector import DetectorConfig, PhiAccrualDetector
 from repro.core.overload import DegradationPolicy
 from repro.core.prediction import ResponseTimePredictor
@@ -204,6 +205,11 @@ class ClientHandler(GroupEndpoint):
         self.trace = trace
         self.degradation = degradation
         self.priority = priority
+        # Closed-loop per-class knob (DESIGN.md §16): set by the
+        # ConsistencyController each control epoch; None (the default)
+        # leaves every read's QoS exactly as declared — bit-identical to
+        # controller-free builds.
+        self.qos_actuation: Optional[QosAdjustment] = None
         # Default-off φ-accrual detection of gray (alive-but-slow)
         # replicas: None keeps the pre-detector behaviour bit-identical.
         self.detector: Optional[PhiAccrualDetector] = (
@@ -459,6 +465,10 @@ class ClientHandler(GroupEndpoint):
         callback: Optional[OutcomeCallback],
     ) -> int:
         t0 = self.now
+        if self.qos_actuation is not None:
+            # Controller-prescribed class knob first (clamped inside
+            # apply()); the degradation ladder may relax further below.
+            qos = self.qos_actuation.apply(qos)
         if self.degradation is not None:
             relaxed = self.degradation.admit(qos, self.priority)
             if relaxed is None:
@@ -983,6 +993,18 @@ class ClientHandler(GroupEndpoint):
         pending.retry_event = self.sim.schedule(
             wake - self.now, self._retry_checkpoint, pending.request.request_id
         )
+
+    def force_degradation(self, level: int, trigger: str = "controller") -> None:
+        """Controller-driven ladder actuation (DESIGN.md §16).
+
+        Unlike the evidence-driven ``note_*`` paths, this pins the ladder
+        at ``level`` directly; the transition is recorded through the
+        same audited ``_record_step`` path so the degradation counters,
+        spans, and policy history stay in agreement.
+        """
+        if self.degradation is None:
+            return
+        self._record_step(self.degradation.force_level(self.now, level, trigger))
 
     def _record_step(self, step) -> None:
         """Account one degradation-ladder transition (telemetry + spans)."""

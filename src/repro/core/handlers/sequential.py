@@ -105,6 +105,17 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         self.gsn_wait_timeout = gsn_wait_timeout
         self.sync_timeout = sync_timeout
 
+        # T_L actuation precedence (DESIGN.md §16): the configured base,
+        # an optional open-loop recommendation (lazy_controller), and an
+        # optional closed-loop override set by the ConsistencyController.
+        # _apply_lazy_interval() is the *single* writer resolving them;
+        # nothing else assigns lazy_update_interval after construction.
+        self._base_lazy_interval = lazy_update_interval
+        self._controller_interval: Optional[float] = None
+        # Back-reference installed by ConsistencyController.register_service
+        # so view changes and recovery can re-adopt the interval in force.
+        self.controller: Optional[Any] = None
+
         # §4.1: the pair of protocol variables every gateway handler keeps.
         self.my_gsn = 0
         self.my_csn = 0
@@ -286,12 +297,73 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             self.lazy_controller.observe(self._updates_since_tune, elapsed)
             self._updates_since_tune = 0
             self._last_tune_at = self.now
-            recommended = self.lazy_controller.recommended_interval()
-            if abs(recommended - self.lazy_update_interval) > 1e-9:
-                self.lazy_update_interval = recommended
-                self._g_lazy_interval.set(recommended)
-                self._schedule_lazy_tick()
+            self._apply_lazy_interval()
         self.sim.schedule(self._tune_interval(), self._tune_tick)
+
+    # ------------------------------------------------------------------
+    # T_L precedence (DESIGN.md §16)
+    # ------------------------------------------------------------------
+    def set_controller_interval(self, interval: Optional[float]) -> None:
+        """Closed-loop actuation of T_L by the ConsistencyController.
+
+        The closed-loop value takes precedence over the open-loop
+        recommendation but stays *bounded* by it: the open-loop tuner
+        computes the longest interval still meeting its staleness target,
+        so exceeding it would violate a declared consistency bound.
+        ``None`` clears the override.
+        """
+        if interval is not None and interval <= 0:
+            raise ValueError(
+                f"controller interval must be positive, got {interval!r}"
+            )
+        self._controller_interval = interval
+        self._apply_lazy_interval()
+
+    def _effective_lazy_interval(self) -> float:
+        """Resolve the three T_L writers into the interval in force.
+
+        Precedence: closed-loop override, clamped from above by the
+        open-loop consistency bound when both are configured; otherwise
+        the open-loop recommendation; otherwise the configured base.
+        """
+        bound = (
+            self.lazy_controller.recommended_interval()
+            if self.lazy_controller is not None
+            else None
+        )
+        if self._controller_interval is not None:
+            if bound is not None:
+                return min(self._controller_interval, bound)
+            return self._controller_interval
+        if bound is not None:
+            return bound
+        return self._base_lazy_interval
+
+    def _apply_lazy_interval(self) -> None:
+        """Single writer for ``lazy_update_interval`` after construction."""
+        effective = self._effective_lazy_interval()
+        if abs(effective - self.lazy_update_interval) <= 1e-9:
+            return
+        self.lazy_update_interval = effective
+        self._g_lazy_interval.set(effective)
+        if self.network is not None:
+            self._schedule_lazy_tick()
+
+    def _rearm_controller(self) -> None:
+        """Re-adopt the closed-loop T_L after a view change or recovery.
+
+        Mirrors the commit-gap watchdog's re-arm sites: a primary that
+        was down (or out of the view) while the controller actuated
+        missed the ``set_controller_interval`` call, so it asks the
+        controller for the interval currently in force instead of
+        resuming with its stale pre-crash value.
+        """
+        if self.controller is None:
+            return
+        interval = self.controller.current_interval()
+        if interval != self._controller_interval:
+            self._controller_interval = interval
+            self._apply_lazy_interval()
 
     # ------------------------------------------------------------------
     # Inbound dispatch
@@ -687,9 +759,16 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
             t_u=self.now - self._perf_anchor,
             n_l=self._updates_since_lazy,
             t_l=self.now - self._last_lazy_at,
+            # Announce the live interval whenever *any* tuner moves it
+            # (open- or closed-loop): clients need T_L for the t_l modulo
+            # of §5.4.1, and the configured default they were built with
+            # no longer describes reality.
             lazy_interval=(
                 self.lazy_update_interval
-                if self.lazy_controller is not None
+                if (
+                    self.lazy_controller is not None
+                    or self._controller_interval is not None
+                )
                 else None
             ),
         )
@@ -706,6 +785,11 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         # Membership changed: drop any gray-publisher override and fall
         # back to the rank designation of the new view.
         self._publisher_override = None
+        # A view change can promote this replica to lazy publisher (or
+        # bring it back into the group after the controller moved T_L):
+        # re-adopt the closed-loop interval the same way the commit-gap
+        # watchdog re-arms.
+        self._rearm_controller()
         if view.leader == self.name and not self._sequencer_active:
             self._sequencer_active = True
             if previous is not None and len(previous) > len(view):
@@ -853,6 +937,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
                 donor=None, csn=self.my_csn, gsn=self.my_gsn,
             )
             self._arm_gap_watchdog()
+            self._rearm_controller()
             return
         self.gsend(
             self.groups.primary,
@@ -973,6 +1058,7 @@ class SequentialReplicaHandler(ReplicaHandlerBase):
         self._drain_commit_queue()
         self._drain_stale_waiters()
         self._arm_gap_watchdog()
+        self._rearm_controller()
 
     # ------------------------------------------------------------------
     # Commit-gap watchdog

@@ -334,6 +334,24 @@ class DegradationPolicy:
             return None
         return self._move(now, self.level - 1, "recovered")
 
+    def force_level(
+        self, now: float, level: int, trigger: str = "controller"
+    ) -> Optional[DegradationStep]:
+        """Pin the ladder at ``level`` (closed-loop actuation, DESIGN.md §16).
+
+        Bypasses the evidence cooldowns — the controller already
+        rate-limits itself — but stays clamped to ``[0, max_level]`` and
+        records the transition like any other step.  Pinning a level
+        counts as trigger evidence so the evidence-driven ``note_ok``
+        path cannot immediately unwind a controller hold.
+        """
+        level = max(0, min(level, self.config.max_level))
+        if level == self.level:
+            return None
+        if level > self.level:
+            self._last_trigger = now
+        return self._move(now, level, trigger)
+
     def _move(self, now: float, to_level: int, trigger: str) -> DegradationStep:
         step = DegradationStep(now, self.level, to_level, trigger)
         self.level = to_level

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.client import ClientHandler, RetryPolicy
+from repro.core.controller import ConsistencyController, ControllerConfig
 from repro.core.detector import DetectorConfig
 from repro.core.handlers.fifo import FifoReplicaHandler
 from repro.core.handlers.sequential import SequentialReplicaHandler
@@ -82,6 +83,12 @@ class ServiceConfig:
     # adaptive commit-gap watchdog, and slow-publisher reassignment —
     # again bit-identical to detector-free builds.
     detector: Optional[DetectorConfig] = None
+    # Closed-loop SLA guardian (DESIGN.md §16).  None (the default)
+    # means no controller exists and no actuation path is live — once
+    # more bit-identical to controller-free builds.  The live instance
+    # is built by attach_controller() when the sensors (SloEngine +
+    # TimeseriesRecorder) exist.
+    controller: Optional["ControllerConfig"] = None
 
     def __post_init__(self) -> None:
         if self.num_primaries < 1:
@@ -124,6 +131,7 @@ class ReplicatedService:
         self.calibration = calibration
         self.groups = ServiceGroups(self.config.name)
         self.clients: dict[str, ClientHandler] = {}
+        self.controller: Optional[ConsistencyController] = None
 
         self._speed_cycle = list(self.config.host_speed_factors or [1.0])
         self._next_host = 0
@@ -320,6 +328,40 @@ class ReplicatedService:
         if handler in self.secondaries:
             return self.recover_secondary(name)
         return self.recover_primary(name)
+
+    # ------------------------------------------------------------------
+    # Closed-loop control (DESIGN.md §16)
+    # ------------------------------------------------------------------
+    def attach_controller(self, engine, recorder) -> ConsistencyController:
+        """Build the ConsistencyController declared by ``config.controller``.
+
+        Separate from construction because the controller's sensors — an
+        :class:`~repro.obs.slo.SloEngine` and the *live*
+        :class:`~repro.obs.timeseries.TimeseriesRecorder` — are owned by
+        the scenario/experiment, not the service.  The controller adopts
+        every primary (sequencer included) as its T_L actuator and hooks
+        their failover re-arm path; consistency classes and ladders are
+        registered afterwards by the caller, which then calls
+        ``start()``.
+        """
+        if self.config.controller is None:
+            raise ValueError(
+                "ServiceConfig.controller is not set; nothing to attach"
+            )
+        if self.controller is not None:
+            raise ValueError("a controller is already attached")
+        controller = ConsistencyController(
+            self.sim,
+            engine,
+            recorder,
+            self.config.controller,
+            trace=self.trace,
+            metrics=self.metrics,
+            name=f"{self.config.name}-controller",
+        )
+        controller.register_service(self)
+        self.controller = controller
+        return controller
 
     # ------------------------------------------------------------------
     # Clients

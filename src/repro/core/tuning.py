@@ -19,6 +19,14 @@ Wire-up: pass ``adaptive_lazy_target`` in
 :class:`~repro.core.service.ServiceConfig`; the lazy publisher re-tunes on
 every tick and announces the interval in effect through its staleness
 broadcasts (clients need ``T_L`` for the ``t_l`` modulo of §5.4.1).
+
+Precedence (DESIGN.md §16): when the closed-loop
+:class:`~repro.core.controller.ConsistencyController` is configured as
+well, its interval wins — but is clamped from above by
+:meth:`AdaptiveLazyController.recommended_interval`, because that value
+is the *longest* interval still meeting the declared staleness target,
+i.e. a consistency bound no tuner may exceed.  The handler's
+``_apply_lazy_interval`` is the single writer resolving both.
 """
 
 from __future__ import annotations

@@ -11,6 +11,10 @@ SLOs, and renders:
   consumption, current fast/slow burn rates, and any burn alerts;
 * the **staleness attribution** split (lazy-publisher vs. queue vs.
   network, DESIGN.md §15);
+* the **closed-loop controller panel** — relax-index / lazy-interval /
+  guardrail-state sparklines and the rollback ledger, from any
+  ``"event": "controller"`` decision logs in the artifact (the
+  ``repro adaptive`` campaign writes them);
 * with ``--html PATH``, a self-contained HTML report (inline SVG, no
   external assets) of the same content;
 * with ``--watch SECONDS``, a live terminal view that re-reads the
@@ -263,6 +267,81 @@ def load_timeline_records(path: str | Path) -> Tuple[dict, List[dict]]:
     return meta, records
 
 
+def load_controller_records(path: str | Path) -> List[dict]:
+    """Controller decision logs (``"event": "controller"`` records, as the
+    adaptive campaign writes them) from a JSONL artifact."""
+    records: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("event") == "controller":
+                records.append(record)
+    return records
+
+
+#: State names at their escalation level, for the controller state strip.
+_CONTROLLER_STATE_LEVELS = {
+    "conservative": 0.0,
+    "measure": 1.0,
+    "relax": 2.0,
+    "rollback": 3.0,
+}
+
+
+def render_controller(records: List[dict], width: int = 60) -> str:
+    """The closed-loop controller panel: per decision log, sparklines of
+    the relax index, the actuated lazy interval, and the guardrail state
+    (conservative→measure→relax→rollback), plus the rollback ledger."""
+    blocks: List[str] = []
+    for record in records:
+        decisions = record.get("decisions") or []
+        if not decisions:
+            continue
+        index = [float(d.get("relax_index", 0)) for d in decisions]
+        t_l = [float(d.get("t_l") or 0.0) for d in decisions]
+        state = [
+            _CONTROLLER_STATE_LEVELS.get(str(d.get("state")), 0.0)
+            for d in decisions
+        ]
+        rollbacks = [
+            d for d in decisions
+            if any(str(a).startswith("rollback:") for a in d.get("actions", ()))
+        ]
+        relaxes = sum(
+            1
+            for d in decisions
+            for a in d.get("actions", ())
+            if str(a).startswith("relax:")
+        )
+        header = (
+            f"controller — mode={record.get('mode', '?')} "
+            f"seed={record.get('seed', '?')}: {len(decisions)} epochs, "
+            f"{relaxes} relaxes, {len(rollbacks)} rollbacks"
+        )
+        lines = [
+            header,
+            f"  index {sparkline(index, width)}  last={index[-1]:g}",
+            f"  T_L   {sparkline(t_l, width)}  last={t_l[-1]:.3g}s",
+            f"  state {sparkline(state, width)}  "
+            "(0=conservative 1=measure 2=relax 3=rollback)",
+        ]
+        for d in rollbacks[:6]:
+            acts = [a for a in d.get("actions", ()) if "rollback" in str(a)]
+            lines.append(
+                f"  t={d.get('time', 0):.2f} {'; '.join(map(str, acts))}"
+            )
+        if len(rollbacks) > 6:
+            lines.append(f"  ... {len(rollbacks) - 6} more rollbacks")
+        blocks.append("\n".join(lines))
+    if not blocks:
+        return ""
+    title = "closed-loop controller"
+    return "\n\n".join([f"{title}\n{'-' * len(title)}"] + blocks)
+
+
 def select_timeline(
     records: List[dict], select: Optional[Dict[str, str]] = None
 ) -> Optional[Timeline]:
@@ -311,6 +390,7 @@ def export_html(
     reports: Optional[Dict[str, SloReport]] = None,
     title: str = "repro dash",
     top: int = 16,
+    controllers: Optional[List[dict]] = None,
 ) -> Path:
     """Write a self-contained HTML report (inline SVG, no assets)."""
     esc = html_escape.escape
@@ -375,6 +455,27 @@ def export_html(
                 f"<td>{summary['fractions'][name]:.1%}</td></tr>"
             )
         parts.append("</table>")
+    if controllers:
+        parts.append("<h2>Closed-loop controller</h2>")
+        for record in controllers:
+            decisions = record.get("decisions") or []
+            if not decisions:
+                continue
+            index = [float(d.get("relax_index", 0)) for d in decisions]
+            t_l = [float(d.get("t_l") or 0.0) for d in decisions]
+            rollbacks = sum(
+                1
+                for d in decisions
+                for a in d.get("actions", ())
+                if str(a).startswith("rollback:")
+            )
+            parts.append(
+                f"<p>mode=<code>{esc(str(record.get('mode', '?')))}</code> "
+                f"seed=<code>{esc(str(record.get('seed', '?')))}</code> — "
+                f"{len(decisions)} epochs, {rollbacks} rollbacks<br>"
+                f"relax index {_svg_polyline(index)}<br>"
+                f"T_L {_svg_polyline(t_l)}</p>"
+            )
     parts.append("</body></html>")
     path = Path(path)
     path.write_text("\n".join(parts), encoding="utf-8")
@@ -437,6 +538,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         timeline = select_timeline(records, select or None)
         if timeline is None:
             return None
+        controllers = load_controller_records(args.input)
         specs = default_slos(
             timeline,
             objective=args.objective,
@@ -448,9 +550,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         text = render_dashboard(
             timeline, reports, title=title, width=args.width, top=args.top
         )
+        panel = render_controller(controllers, width=args.width)
+        if panel:
+            text = f"{text}\n\n{panel}"
         if args.html:
             export_html(
-                args.html, timeline, reports, title=title, top=args.top
+                args.html, timeline, reports, title=title, top=args.top,
+                controllers=controllers,
             )
         return text
 

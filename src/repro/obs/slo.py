@@ -363,8 +363,16 @@ def _burn(
     lo = max(0, i + 1 - w)
     total = cum_total[i + 1] - cum_total[lo]
     if total <= 0:
+        # An empty window (no judged events — e.g. every read shed) is
+        # *no evidence*, not an infinite burn; the controller must never
+        # see a NaN here.
         return 0.0
     bad = cum_bad[i + 1] - cum_bad[lo]
+    if budget <= 0.0:
+        # Degenerate budget (objective rounded to 1.0 upstream): any bad
+        # event is an instant page-level burn, zero bad burns nothing —
+        # never a ZeroDivisionError/NaN.
+        return float("inf") if bad > 0 else 0.0
     return (bad / total) / budget
 
 

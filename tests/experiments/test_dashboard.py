@@ -9,8 +9,10 @@ import pytest
 from repro.experiments.dashboard import (
     default_slos,
     export_html,
+    load_controller_records,
     load_timeline_records,
     main,
+    render_controller,
     render_dashboard,
     render_timeline,
     select_timeline,
@@ -147,3 +149,74 @@ def test_cli_reports_missing_timeline(tmp_path, capsys):
     path.write_text(json.dumps({"event": "meta", "experiment": "x"}) + "\n")
     assert main([str(path)]) == 1
     assert "no timeline" in capsys.readouterr().err.lower()
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop controller panel
+# ---------------------------------------------------------------------------
+def _controller_record(mode="controller", seed=7):
+    def d(epoch, state, index, t_l, actions=()):
+        return {
+            "epoch": epoch,
+            "time": epoch * 0.5,
+            "state": state,
+            "relax_index": index,
+            "t_l": t_l,
+            "actions": list(actions),
+        }
+
+    return {
+        "event": "controller",
+        "mode": mode,
+        "seed": seed,
+        "decisions": [
+            d(1, "conservative", 0, 0.3),
+            d(2, "measure", 0, 0.3),
+            d(3, "relax", 1, 0.6, ["relax:0->1"]),
+            d(4, "rollback", 0, 0.3, ["rollback:1->0"]),
+            d(5, "measure", 0, 0.3),
+        ],
+    }
+
+
+def test_render_controller_panel():
+    text = render_controller([_controller_record()])
+    assert "closed-loop controller" in text
+    assert "mode=controller seed=7" in text
+    assert "5 epochs, 1 relaxes, 1 rollbacks" in text
+    assert "index" in text and "T_L" in text and "state" in text
+    assert "rollback:1->0" in text
+    # Empty/decision-free inputs render nothing rather than a bare title.
+    assert render_controller([]) == ""
+    assert render_controller([{"event": "controller", "decisions": []}]) == ""
+
+
+def test_load_controller_records_filters_events(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    record = _controller_record()
+    write_experiment_artifact(
+        path,
+        "adaptive",
+        [record, {"event": "cell", "mode": "static-0"}],
+        seed=1,
+    )
+    loaded = load_controller_records(path)
+    assert len(loaded) == 1
+    assert loaded[0]["mode"] == "controller"
+    assert len(loaded[0]["decisions"]) == 5
+
+
+def test_export_html_includes_controller_section(tmp_path):
+    timeline = _timeline()
+    specs = default_slos(timeline, objective=0.9)
+    reports = SloEngine(specs).evaluate(timeline)
+    out = export_html(
+        tmp_path / "dash.html",
+        timeline,
+        reports,
+        controllers=[_controller_record()],
+    )
+    html = out.read_text()
+    assert "Closed-loop controller" in html
+    assert "mode=<code>controller</code>" in html
+    assert "1 rollbacks" in html

@@ -138,6 +138,103 @@ def test_empty_timeline_yields_empty_report_that_is_met():
     assert report.first_alert() is None
 
 
+def test_spec_registered_mid_run_sees_only_the_suffix():
+    # A spec evaluated against a timeline that starts mid-run (earlier
+    # ticks already garbage-collected): compliance and burn cover the
+    # surviving suffix only, with no index errors at the seam.
+    timeline = Timeline(
+        1.0,
+        start=5,
+        length=5,
+        series={
+            'client_reads_judged{client="a"}': {
+                "type": "counter",
+                "deltas": [10] * 5,
+            },
+            'client_timing_failures{client="a"}': {
+                "type": "counter",
+                "deltas": [0, 2, 0, 0, 0],
+            },
+        },
+    )
+    report = SloEngine([_spec()]).evaluate(timeline)["timeliness:a"]
+    assert report.times == [6.0, 7.0, 8.0, 9.0, 10.0]
+    assert report.total_good == 48 and report.total_bad == 2
+    signals = SloEngine([_spec()]).signals(timeline)["timeliness:a"]
+    assert signals["time"] == 10.0
+    assert signals["compliance"] == pytest.approx(48 / 50)
+
+
+def test_all_shed_window_burns_nothing():
+    # Ticks where every read was shed (zero judged events) are *no
+    # evidence*: burn must be 0.0 there — never NaN or a division error —
+    # and compliance holds its last value.
+    timeline = Timeline(
+        1.0,
+        start=0,
+        length=6,
+        series={
+            'client_reads_judged{client="a"}': {
+                "type": "counter",
+                "deltas": [10, 10, 0, 0, 0, 10],
+            },
+            'client_timing_failures{client="a"}': {
+                "type": "counter",
+                "deltas": [0, 1, 0, 0, 0, 0],
+            },
+        },
+    )
+    report = SloEngine([_spec()]).evaluate(timeline)["timeliness:a"]
+    # Fast window (1 tick) over the shed ticks: empty -> zero burn.
+    assert report.fast_burn[2] == 0.0
+    assert report.fast_burn[3] == 0.0
+    assert report.compliance[4] == pytest.approx(19 / 20)
+    signals = SloEngine([_spec()]).signals(timeline)["timeliness:a"]
+    assert signals["fast_burn"] == 0.0
+    assert signals["fast_burn"] == signals["fast_burn"]  # not NaN
+
+
+def test_degenerate_budget_never_divides_by_zero():
+    # The burn kernel's denominator guard: a budget of exactly zero must
+    # not raise ZeroDivisionError or yield NaN — bad events burn
+    # "infinitely", clean windows burn nothing.  (SloSpec validation
+    # keeps objective < 1, so this is only reachable through the kernel;
+    # the tightest representable spec must stay finite and NaN-free.)
+    from repro.obs.slo import _burn
+
+    cum_total = [0.0, 10.0, 20.0]
+    cum_bad = [0.0, 0.0, 2.0]
+    assert _burn(cum_total, cum_bad, 1, 1, 0.0) == float("inf")
+    assert _burn(cum_total, cum_bad, 0, 1, 0.0) == 0.0
+    spec = _spec(objective=0.99999999999999)
+    report = SloEngine([spec]).evaluate(_timeliness_timeline())["timeliness:a"]
+    for burn in report.fast_burn + report.slow_burn:
+        assert burn == burn  # no NaN anywhere
+        assert burn != float("inf")
+
+
+def test_signals_zero_judged_reads_everywhere():
+    # A timeline with ticks but no judged events at all: compliance 1.0,
+    # full budget, zero burn (the no-evidence defaults, not NaN).
+    timeline = Timeline(
+        1.0,
+        start=0,
+        length=4,
+        series={
+            'client_reads_judged{client="a"}': {
+                "type": "counter",
+                "deltas": [0, 0, 0, 0],
+            },
+        },
+    )
+    signals = SloEngine([_spec()]).signals(timeline)["timeliness:a"]
+    assert signals["compliance"] == 1.0
+    assert signals["budget_remaining"] == 1.0
+    assert signals["fast_burn"] == 0.0
+    assert signals["slow_burn"] == 0.0
+    assert signals["alerting"] == 0.0
+
+
 # ---------------------------------------------------------------------------
 # Staleness-kind specs bucket against the bound
 # ---------------------------------------------------------------------------

@@ -44,7 +44,8 @@ def test_all_commands_registered():
     )
     assert set(sub.choices) == {
         "figure3", "figure4", "ablations", "validation", "chaos", "overload",
-        "gray", "metrics", "speedup", "scale", "dash", "bench-diff", "info",
+        "adaptive", "gray", "metrics", "speedup", "scale", "dash",
+        "bench-diff", "info",
     }
 
 
